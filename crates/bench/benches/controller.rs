@@ -1,0 +1,92 @@
+//! Controller-path microbenchmarks: the per-invocation cost of the PID
+//! law, the PIC (sense → control → actuate), and GPM provisioning at
+//! several island counts. These bound the runtime overhead the scheme
+//! would impose on a real power-management firmware.
+
+use cpm_control::{Pid, PidGains};
+use cpm_core::gpm::{GlobalPowerManager, IslandFeedback, IslandRange};
+use cpm_core::pic::{PerIslandController, PicSensor};
+use cpm_core::policies::performance::PerformanceAware;
+use cpm_power::dvfs::DvfsTable;
+use cpm_units::{IslandId, Ratio, Watts};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_pid_step(c: &mut Criterion) {
+    c.bench_function("pid_step", |b| {
+        let mut pid = Pid::new(PidGains::paper()).with_integral_limit(2.0);
+        let mut e = 0.1f64;
+        b.iter(|| {
+            e = -e * 0.99;
+            black_box(pid.step(black_box(e)))
+        });
+    });
+}
+
+fn bench_pic_invoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pic_invoke");
+    for sensor in [PicSensor::Oracle, PicSensor::Transducer] {
+        let mut pic = PerIslandController::new(
+            IslandId(0),
+            DvfsTable::pentium_m(),
+            Watts::new(24.0),
+            PidGains::paper(),
+            0.79,
+            sensor,
+        );
+        for i in 0..=10 {
+            let u = i as f64 / 10.0;
+            pic.observe_calibration(Ratio::new(u), Watts::new(20.0 * u + 4.0));
+        }
+        pic.set_target(Watts::new(15.0));
+        group.bench_function(format!("{sensor:?}"), |b| {
+            let mut p = 14.0f64;
+            b.iter(|| {
+                p = 14.0 + (p * 17.0) % 3.0;
+                black_box(pic.invoke(Ratio::new(0.6), Watts::new(black_box(p))))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpm_provision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpm_provision");
+    for islands in [4usize, 8, 32] {
+        let ranges = vec![
+            IslandRange {
+                floor: Watts::new(4.0),
+                ceiling: Watts::new(25.0),
+            };
+            islands
+        ];
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(20.0 * islands as f64),
+            Box::new(PerformanceAware::new()),
+            ranges,
+        );
+        let feedback: Vec<IslandFeedback> = (0..islands)
+            .map(|i| IslandFeedback {
+                island: IslandId(i),
+                allocated: Watts::new(20.0),
+                actual_power: Watts::new(18.0 + (i % 3) as f64),
+                bips: 1.0 + (i % 4) as f64 * 0.5,
+                utilization: Ratio::new(0.7),
+                epi: None,
+                peak_temperature: 60.0,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(islands), &feedback, |b, fb| {
+            b.iter(|| black_box(gpm.provision(black_box(fb))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pid_step,
+    bench_pic_invoke,
+    bench_gpm_provision
+);
+criterion_main!(benches);

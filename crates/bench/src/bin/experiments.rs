@@ -1,0 +1,37 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>      run one experiment (table1 … fig19)
+//! experiments all       run everything in paper order
+//! experiments list      list experiment ids
+//! ```
+
+use cpm_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for id in ALL_EXPERIMENTS {
+                println!("  {id}");
+            }
+            println!("  all");
+        }
+        "all" => {
+            for id in ALL_EXPERIMENTS {
+                eprintln!("[experiments] running {id} …");
+                print!("{}", run_experiment(id).expect("known id"));
+            }
+        }
+        id => match run_experiment(id) {
+            Some(report) => print!("{report}"),
+            None => {
+                eprintln!("unknown experiment `{id}`; try `experiments list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,95 @@
+//! Trace exporter: writes the tracking traces behind Figs. 7–10 as CSV so
+//! they can be plotted with any external tool.
+//!
+//! ```text
+//! traces <output-dir> [budget-percent] [gpm-intervals]
+//! ```
+//!
+//! Emits:
+//! * `chip_power.csv` — time, chip power % (PIC and GPM resolution), budget,
+//! * `island_<k>.csv` — time, target %, actual % per island,
+//! * `temperatures.csv` — time, peak die temperature.
+
+use cpm_core::prelude::*;
+use cpm_units::IslandId;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: traces <output-dir> [budget-percent] [gpm-intervals]");
+        std::process::exit(2);
+    };
+    let budget: f64 = args
+        .next()
+        .map(|s| s.parse().expect("budget must be a number"))
+        .unwrap_or(80.0);
+    let intervals: usize = args
+        .next()
+        .map(|s| s.parse().expect("intervals must be an integer"))
+        .unwrap_or(60);
+
+    let out_dir = Path::new(&dir);
+    std::fs::create_dir_all(out_dir).expect("create output directory");
+
+    eprintln!("[traces] running {intervals} GPM intervals at a {budget} % budget …");
+    let cfg = ExperimentConfig::paper_default().with_budget_percent(budget);
+    let outcome = Coordinator::new(cfg)
+        .expect("valid configuration")
+        .run_for_gpm_intervals(intervals);
+
+    // Chip power at both resolutions.
+    let mut chip = String::from("time_s,chip_power_pct,budget_pct\n");
+    for s in outcome.chip_power_percent.samples() {
+        let _ = writeln!(
+            chip,
+            "{},{:.4},{:.2}",
+            s.time.value(),
+            s.value,
+            outcome.budget_percent()
+        );
+    }
+    std::fs::write(out_dir.join("chip_power.csv"), chip).expect("write chip_power.csv");
+
+    let mut chip_gpm = String::from("time_s,chip_power_pct,budget_pct\n");
+    for s in outcome.chip_power_percent_gpm().samples() {
+        let _ = writeln!(
+            chip_gpm,
+            "{},{:.4},{:.2}",
+            s.time.value(),
+            s.value,
+            outcome.budget_percent()
+        );
+    }
+    std::fs::write(out_dir.join("chip_power_gpm.csv"), chip_gpm).expect("write chip_power_gpm.csv");
+
+    // Per-island target vs actual.
+    for i in 0..outcome.island_actual_percent.len() {
+        let id = IslandId(i);
+        let mut island = String::from("time_s,target_pct,actual_pct\n");
+        let targets = &outcome.island_target_percent[i];
+        let actuals = &outcome.island_actual_percent[i];
+        for (t, a) in targets.samples().iter().zip(actuals.samples()) {
+            let _ = writeln!(island, "{},{:.4},{:.4}", t.time.value(), t.value, a.value);
+        }
+        std::fs::write(
+            out_dir.join(format!("island_{}.csv", id.index() + 1)),
+            island,
+        )
+        .expect("write island CSV");
+    }
+
+    // Peak die temperature.
+    let mut temps = String::from("time_s,peak_temp_c\n");
+    for s in outcome.peak_temperature.samples() {
+        let _ = writeln!(temps, "{},{:.3}", s.time.value(), s.value);
+    }
+    std::fs::write(out_dir.join("temperatures.csv"), temps).expect("write temperatures.csv");
+
+    eprintln!(
+        "[traces] wrote {} islands + chip traces to {}",
+        outcome.island_actual_percent.len(),
+        out_dir.display()
+    );
+}

@@ -1,0 +1,59 @@
+//! Extension: DVFS granularity ablation.
+//!
+//! The quantized actuator is this system's binding constraint — between
+//! adjacent V/F pairs the PIC can only duty-cycle. This experiment
+//! re-samples the Pentium-M voltage/frequency envelope at 4 / 8 / 16 / 32
+//! points and measures what granularity buys: tighter tracking (smaller
+//! duty-cycle ripple) and less wasted performance. §II-B's remark that
+//! per-core controllers are "prohibitively expensive" is the other side of
+//! this trade — hardware cost vs control resolution.
+
+use crate::report::{f, heading, Table};
+use cpm_core::coordinator::run_with_baseline;
+use cpm_core::prelude::*;
+use cpm_power::dvfs::DvfsTable;
+
+/// Runs the paper-default experiment with the V/F envelope re-sampled at
+/// several granularities.
+pub fn granularity() -> String {
+    let mut s = heading("Extension — DVFS table granularity (80 % budget, Mix-1)");
+    let mut t = Table::new(&[
+        "V/F points",
+        "mean |tracking err| %",
+        "chip overshoot %",
+        "degradation %",
+    ]);
+    for n in [4usize, 8, 16, 32] {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.cmp.dvfs = DvfsTable::pentium_m_envelope(n);
+        let (m, base) = run_with_baseline(cfg, 25).expect("valid");
+        let tr = m.chip_tracking_error();
+        t.row(&[
+            n.to_string(),
+            f(tr.mean_abs_error_percent, 2),
+            f(tr.max_overshoot_percent, 2),
+            f(m.degradation_vs(&base), 2),
+        ]);
+    }
+    s.push_str(&t.render());
+    s.push_str(
+        "\nnote: the relationship is not monotone — the PID gains and slew limit were\ntuned for the 8-point table (the paper's design point), and re-sampling the\nenvelope shifts where island targets fall relative to the quantized levels.\nThe practical reading matches §II-B: more V/F pairs are not automatically\nbetter unless the controller is re-tuned for them\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_report_covers_all_levels() {
+        let s = granularity();
+        for n in ["4", "8", "16", "32"] {
+            assert!(
+                s.lines().any(|l| l.trim_start().starts_with(n)),
+                "missing {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per experiment group; see DESIGN.md §4 for the map.
+
+pub mod analysis;
+pub mod budget;
+pub mod granularity;
+pub mod model;
+pub mod scaling;
+pub mod sensitivity;
+pub mod tables;
+pub mod thermal;
+pub mod tracking;
+pub mod variation;

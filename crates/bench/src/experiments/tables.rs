@@ -1,0 +1,146 @@
+//! Tables I–III: configuration, benchmark roster, and mixes.
+
+use crate::report::{heading, Table};
+use cpm_sim::CmpConfig;
+use cpm_units::IslandId;
+use cpm_workloads::{parsec, Mix, WorkloadAssignment};
+
+/// Table I: core, memory, CMP configuration and V/F settings.
+pub fn table1() -> String {
+    let cfg = CmpConfig::paper_default();
+    let mut out = heading("Table I — Core, Memory, CMP configuration and V-F settings");
+    let mut t = Table::new(&["parameter", "value"]);
+    t.row(&["technology".into(), "90 nm class, 2 GHz nominal".into()]);
+    t.row(&[
+        "CMP".into(),
+        format!(
+            "{} x86 OoO cores, {} islands x {} cores/island",
+            cfg.cores,
+            cfg.islands(),
+            cfg.cores_per_island
+        ),
+    ]);
+    t.row(&[
+        "L1 I/D".into(),
+        format!(
+            "{}-way, {} KB, 64 B lines, 1-cycle",
+            cfg.cache.l1_ways,
+            cfg.cache.l1_bytes / 1024
+        ),
+    ]);
+    t.row(&[
+        "L2 (shared)".into(),
+        format!(
+            "{}-way, {} KB per core, 64 B lines, 12-cycle",
+            cfg.cache.l2_ways,
+            cfg.cache.l2_bytes_per_core / 1024
+        ),
+    ]);
+    t.row(&["memory".into(), "100 ns (200 cycles @ 2 GHz)".into()]);
+    t.row(&[
+        "GPM / PIC interval".into(),
+        format!(
+            "{} ms / {} ms",
+            cfg.gpm_interval.ms(),
+            cfg.pic_interval.ms()
+        ),
+    ]);
+    t.row(&[
+        "DVFS overhead".into(),
+        format!(
+            "{:.1} % of interval per transition",
+            cfg.dvfs.transition_overhead() * 100.0
+        ),
+    ]);
+    out.push_str(&t.render());
+    out.push_str("\nV/F pairs (Pentium-M derived):\n");
+    let mut vf = Table::new(&["index", "frequency (MHz)", "voltage (V)"]);
+    for (i, p) in cfg.dvfs.points().iter().enumerate() {
+        vf.row(&[
+            i.to_string(),
+            format!("{:.0}", p.frequency.mhz()),
+            format!("{:.3}", p.voltage.value()),
+        ]);
+    }
+    out.push_str(&vf.render());
+    out
+}
+
+/// Table II: the PARSEC roster.
+pub fn table2() -> String {
+    let mut out = heading("Table II — PARSEC benchmark details");
+    let mut t = Table::new(&["benchmark", "abbrev", "kind", "description"]);
+    for p in parsec::all() {
+        let kind = if p.description.contains("kernel") {
+            "kernel"
+        } else {
+            "application"
+        };
+        t.row(&[
+            p.name.into(),
+            p.short.into(),
+            kind.into(),
+            p.description.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Table III: Mix-1/2/3 island assignments with C/M characteristics.
+pub fn table3() -> String {
+    let mut out = heading("Table III — Application mix and island assignment");
+    for (label, mix, cores) in [
+        ("(a) Mix-1, 8-core CMP", Mix::Mix1, 8),
+        ("(b) Mix-2, 8-core CMP", Mix::Mix2, 8),
+        ("(c) Mix-3, 16-core CMP", Mix::Mix3, 16),
+    ] {
+        out.push_str(&format!("\n{label}:\n"));
+        let a = WorkloadAssignment::paper_mix(mix, cores);
+        let mut t = Table::new(&["island", "benchmarks", "characteristics"]);
+        for i in 0..a.islands() {
+            let names: Vec<&str> = a
+                .cores_of(IslandId(i))
+                .iter()
+                .map(|&c| a.profile(c).short)
+                .collect();
+            t.row(&[
+                (i + 1).to_string(),
+                names.join(", "),
+                a.island_classes(IslandId(i)),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_8_vf_pairs() {
+        let s = table1();
+        assert!(s.contains("600"));
+        assert!(s.contains("2000"));
+        assert!(s.contains("1.340"));
+    }
+
+    #[test]
+    fn table2_lists_all_benchmarks() {
+        let s = table2();
+        for short in [
+            "bschls", "btrack", "fsim", "fmine", "x264", "vips", "sclust", "canneal",
+        ] {
+            assert!(s.contains(short), "missing {short}");
+        }
+    }
+
+    #[test]
+    fn table3_shows_cm_classes() {
+        let s = table3();
+        assert!(s.contains("C, M"));
+        assert!(s.contains("M, M, M, M"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Figs. 7–10: power provisioning and tracking traces.
+
+use crate::report::{f, heading, Table};
+use cpm_core::metrics::{mean_settling, segment_metrics, worst_segment_metrics};
+use cpm_core::prelude::*;
+use cpm_units::IslandId;
+
+fn default_run(gpm_intervals: usize) -> Outcome {
+    Coordinator::new(ExperimentConfig::paper_default())
+        .expect("valid config")
+        .run_for_gpm_intervals(gpm_intervals)
+}
+
+/// Fig. 7: how the GPM distributes the 80 % budget across the four islands
+/// over time (GPM-interval resolution).
+pub fn fig7() -> String {
+    let out = default_run(40);
+    let mut s = heading("Fig. 7 — GPM power provisioning across 4 islands (P_target = 80 %)");
+    let mut t = Table::new(&[
+        "GPM interval",
+        "island1 %",
+        "island2 %",
+        "island3 %",
+        "island4 %",
+        "sum %",
+    ]);
+    for k in 0..40 {
+        let mut cells = vec![k.to_string()];
+        let mut sum = 0.0;
+        for i in 0..4 {
+            let v = out.island_target_percent_gpm(IslandId(i)).samples()[k].value;
+            sum += v;
+            cells.push(f(v, 1));
+        }
+        cells.push(f(sum, 1));
+        if k % 4 == 0 {
+            t.row(&cells);
+        }
+    }
+    s.push_str(&t.render());
+    s.push_str(&format!(
+        "\nbudget: {:.1} % — allocations sum to the budget at every instant (Eq. 6)\n",
+        out.budget_percent()
+    ));
+    s
+}
+
+/// Fig. 8: per-island target vs actual power over 120 GPM invocations.
+pub fn fig8() -> String {
+    let out = default_run(120);
+    let mut s = heading("Fig. 8 — tracking the target power in each island (120 GPM intervals)");
+    for i in 0..4 {
+        let tr = out.island_tracking_error(IslandId(i));
+        s.push_str(&format!(
+            "island {}: max overshoot {:.2} %, max undershoot {:.2} %, mean |err| {:.2} % of target\n",
+            i + 1,
+            tr.max_overshoot_percent,
+            tr.max_undershoot_percent,
+            tr.mean_abs_error_percent
+        ));
+    }
+    s.push_str("\nsampled trace, island 1 (GPM resolution, % of required chip power):\n");
+    let mut t = Table::new(&["GPM interval", "target %", "actual %"]);
+    let tgt = out.island_target_percent_gpm(IslandId(0));
+    let act = out.island_actual_percent_gpm(IslandId(0));
+    for k in (0..tgt.len()).step_by(10) {
+        t.row(&[
+            k.to_string(),
+            f(tgt.samples()[k].value, 2),
+            f(act.samples()[k].value, 2),
+        ]);
+    }
+    s.push_str(&t.render());
+    s
+}
+
+/// Fig. 9: PIC-resolution tracking between two GPM invocations — the
+/// transient metrics (overshoot ≤ ~2 %, settling in 5–6 PIC invocations).
+pub fn fig9() -> String {
+    let out = default_run(60);
+    let mut s = heading("Fig. 9 — PIC tracking between successive GPM invocations");
+    let mut t = Table::new(&[
+        "island",
+        "median overshoot %",
+        "median settling (mean criterion)",
+        "worst overshoot %",
+    ]);
+    for i in 0..4 {
+        // Per-segment metrics across all GPM segments.
+        let a: Vec<f64> = out.island_actual_percent[i].values().collect();
+        let g: Vec<f64> = out.island_target_percent[i].values().collect();
+        let mut overshoots = Vec::new();
+        let mut settlings = Vec::new();
+        for (ca, cg) in a
+            .chunks_exact(out.pics_per_gpm)
+            .zip(g.chunks_exact(out.pics_per_gpm))
+        {
+            let m = segment_metrics(ca, cg[0], 0.10);
+            overshoots.push(m.overshoot * 100.0);
+            if let Some(k) = mean_settling(ca, cg[0], 0.05) {
+                settlings.push(k);
+            }
+        }
+        overshoots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        settlings.sort_unstable();
+        let med_o = overshoots[overshoots.len() / 2];
+        let med_s = settlings
+            .get(settlings.len() / 2)
+            .map(|k| k.to_string())
+            .unwrap_or("unsettled".into());
+        let worst = worst_segment_metrics(
+            &out.island_actual_percent[i],
+            &out.island_target_percent[i],
+            out.pics_per_gpm,
+            0.10,
+        );
+        t.row(&[
+            (i + 1).to_string(),
+            f(med_o, 1),
+            med_s,
+            f(worst.overshoot * 100.0, 1),
+        ]);
+    }
+    s.push_str(&t.render());
+    s.push_str("\npaper: overshoots mostly within 2 % of target; steady state within 5-6 PIC\ninvocations. The quantized actuator duty-cycles between adjacent V/F points,\nso settling is measured on the running mean (what a power meter integrates).\n");
+    s.push_str("\none segment, island 2 (PIC resolution, % of required chip power):\n");
+    let mut seg = Table::new(&["PIC k", "target %", "actual %"]);
+    let base = 20 * out.pics_per_gpm;
+    for k in base..base + out.pics_per_gpm {
+        seg.row(&[
+            (k - base).to_string(),
+            f(out.island_target_percent[1].samples()[k].value, 2),
+            f(out.island_actual_percent[1].samples()[k].value, 2),
+        ]);
+    }
+    s.push_str(&seg.render());
+    s
+}
+
+/// Fig. 10: chip-wide power tracking against the 80 % budget.
+pub fn fig10() -> String {
+    let out = default_run(120);
+    let tr = out.chip_tracking_error();
+    let mut s = heading("Fig. 10 — tracking chip target power (budget 80 %)");
+    s.push_str(&format!(
+        "budget {:.1} %: mean chip power {:.2} %, max overshoot {:.2} %, max undershoot {:.2} %, mean |err| {:.2} %\n",
+        out.budget_percent(),
+        out.mean_chip_power_percent(),
+        tr.max_overshoot_percent,
+        tr.max_undershoot_percent,
+        tr.mean_abs_error_percent
+    ));
+    s.push_str("paper: overshoot/undershoot mostly within 4 % of the allocated budget\n");
+    let r = out.robustness(0.05);
+    s.push_str(&format!(
+        "island-level robustness (worst over all islands/segments): overshoot {:.1} %,\nmean-criterion settling {:?} PIC invocations, segment-mean error {:.1} %\n",
+        r.max_overshoot * 100.0,
+        r.max_settling,
+        r.max_steady_state_error * 100.0
+    ));
+    s.push_str("\ntrace (GPM resolution):\n");
+    let mut t = Table::new(&["GPM interval", "P_actual %", "P_target %"]);
+    let series = out.chip_power_percent_gpm();
+    for k in (0..series.len()).step_by(10) {
+        t.row(&[
+            k.to_string(),
+            f(series.samples()[k].value, 2),
+            f(out.budget_percent(), 1),
+        ]);
+    }
+    s.push_str(&t.render());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_reports_tight_tracking() {
+        let s = fig10();
+        assert!(s.contains("max overshoot"));
+    }
+}

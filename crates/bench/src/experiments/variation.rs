@@ -1,0 +1,86 @@
+//! Fig. 19 (§IV-B): the variation-aware provisioning policy under
+//! intra-die leakage variation.
+
+use crate::report::{f, heading, Table};
+use cpm_core::coordinator::PolicyKind;
+use cpm_core::prelude::*;
+use cpm_power::variation::VariationMap;
+use cpm_units::IslandId;
+
+/// §IV-B: islands 1–3 leak 1.2×/1.5×/2× of island 4; compare the
+/// variation-aware EPI-minimizing policy against the performance-aware
+/// policy, per island: throughput degradation and power/throughput
+/// improvement.
+pub fn fig19() -> String {
+    let rounds = 40;
+    let variation = VariationMap::paper_four_island();
+
+    let mut perf_cfg = ExperimentConfig::paper_default();
+    perf_cfg.variation = Some(variation.clone());
+    let perf = Coordinator::new(perf_cfg.clone())
+        .expect("valid")
+        .run_for_gpm_intervals(rounds);
+
+    let var_cfg = perf_cfg
+        .clone()
+        .with_scheme(ManagementScheme::Cpm(PolicyKind::Variation));
+    let var = Coordinator::new(var_cfg)
+        .expect("valid")
+        .run_for_gpm_intervals(rounds);
+
+    let mut s = heading("Fig. 19 (§IV-B) — variation-aware provisioning under leakage variation");
+    s.push_str(&format!(
+        "leakage multipliers: island1 {:.1}x, island2 {:.1}x, island3 {:.1}x, island4 {:.1}x\n\n",
+        variation.multiplier(IslandId(0)),
+        variation.multiplier(IslandId(1)),
+        variation.multiplier(IslandId(2)),
+        variation.multiplier(IslandId(3)),
+    ));
+    let mut t = Table::new(&[
+        "island",
+        "leak x",
+        "mean V/F level (perf)",
+        "mean V/F level (var)",
+        "throughput degradation %",
+        "power/throughput improvement %",
+    ]);
+    for i in 0..4 {
+        let id = IslandId(i);
+        let bips_p = perf.island_energy[i].bips().unwrap_or(0.0);
+        let bips_v = var.island_energy[i].bips().unwrap_or(0.0);
+        let ppt_p = perf.island_energy[i]
+            .average_power()
+            .map(|w| w.value())
+            .unwrap_or(0.0)
+            / bips_p.max(1e-12);
+        let ppt_v = var.island_energy[i]
+            .average_power()
+            .map(|w| w.value())
+            .unwrap_or(0.0)
+            / bips_v.max(1e-12);
+        t.row(&[
+            (i + 1).to_string(),
+            f(variation.multiplier(id), 1),
+            f(perf.mean_island_dvfs(id), 2),
+            f(var.mean_island_dvfs(id), 2),
+            f((1.0 - bips_v / bips_p) * 100.0, 2),
+            f((1.0 - ppt_v / ppt_p) * 100.0, 2),
+        ]);
+    }
+    s.push_str(&t.render());
+    s.push_str(
+        "\npaper: the greedy EPI search runs leakier islands at lower V/F — a modest\nthroughput cost buys a power/throughput (energy-efficiency) improvement.\nThe mean V/F columns show the mechanism directly: under the variation policy\nthe leakier the island, the lower its operating point relative to the\nperformance policy's choice for the same workload.\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use cpm_power::variation::VariationMap;
+
+    #[test]
+    fn paper_variation_map_shape() {
+        let v = VariationMap::paper_four_island();
+        assert_eq!(v.multipliers(), &[1.2, 1.5, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment is a function returning a formatted text report (so the
+//! integration tests can assert on the numbers); the `experiments` binary
+//! dispatches on a subcommand and prints it. Run
+//!
+//! ```text
+//! cargo run --release -p cpm-bench --bin experiments -- <id>
+//! cargo run --release -p cpm-bench --bin experiments -- all
+//! ```
+//!
+//! with `<id>` one of: `table1 table2 table3 poles margin fig5 fig6 fig7
+//! fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19`.
+//!
+//! See DESIGN.md §4 for the experiment↔module map and EXPERIMENTS.md for
+//! recorded paper-vs-measured results.
+
+pub mod experiments;
+pub mod report;
+
+use experiments as ex;
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "poles",
+    "margin",
+    "bode",
+    "locus",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "granularity",
+];
+
+/// Runs one experiment by id; `None` for unknown ids.
+pub fn run_experiment(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => ex::tables::table1(),
+        "table2" => ex::tables::table2(),
+        "table3" => ex::tables::table3(),
+        "poles" => ex::analysis::poles(),
+        "margin" => ex::analysis::margin(),
+        "bode" => ex::analysis::bode(),
+        "locus" => ex::analysis::locus(),
+        "fig5" => ex::model::fig5(),
+        "fig6" => ex::model::fig6(),
+        "fig7" => ex::tracking::fig7(),
+        "fig8" => ex::tracking::fig8(),
+        "fig9" => ex::tracking::fig9(),
+        "fig10" => ex::tracking::fig10(),
+        "fig11" => ex::budget::fig11(),
+        "fig12" => ex::budget::fig12(),
+        "fig13" => ex::scaling::fig13(),
+        "fig14" => ex::budget::fig14(),
+        "fig15" => ex::scaling::fig15(),
+        "fig16" => ex::sensitivity::fig16(),
+        "fig17" => ex::sensitivity::fig17(),
+        "fig18" => ex::thermal::fig18(),
+        "fig19" => ex::variation::fig19(),
+        "granularity" => ex::granularity::granularity(),
+        _ => return None,
+    })
+}

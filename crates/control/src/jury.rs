@@ -1,0 +1,226 @@
+//! The Jury stability criterion: an *algebraic* test that all roots of a
+//! real polynomial lie strictly inside the unit circle, without computing
+//! them.
+//!
+//! §II-D mentions that the design parameters "can be computed accurately
+//! given a system model and design specifications … through the
+//! application of stability criterion"; Jury's table is the discrete-time
+//! counterpart of Routh–Hurwitz and the standard such criterion. It also
+//! cross-validates the Aberth–Ehrlich root finder in tests: both must
+//! agree on stability for every polynomial.
+//!
+//! For `P(z) = aₙzⁿ + … + a₀` with `aₙ > 0`, the necessary-and-sufficient
+//! conditions are:
+//!
+//! 1. `P(1) > 0`,
+//! 2. `(−1)ⁿ·P(−1) > 0`,
+//! 3. `|a₀| < aₙ`,
+//! 4. the `n−2` constraints from the Jury table rows (each reduction row
+//!    `bₖ = a₀·aₖ − aₙ·a_{n−k}`-style must keep `|b₀| > |b_{n−1}|`, etc.).
+
+use crate::poly::Polynomial;
+
+/// Result of the Jury test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JuryResult {
+    /// All roots strictly inside the unit circle.
+    Stable,
+    /// At least one root on or outside the unit circle.
+    Unstable,
+    /// A table entry vanished (root exactly on the circle or a singular
+    /// table) — the plain criterion cannot decide.
+    Marginal,
+}
+
+/// Numerical tolerance for treating a table entry as zero relative to the
+/// polynomial's coefficient magnitude.
+const EPS: f64 = 1e-12;
+
+/// Applies the Jury criterion to `p`. Constants (degree 0) are trivially
+/// stable (no roots). Panics on the zero polynomial.
+pub fn jury_test(p: &Polynomial) -> JuryResult {
+    assert!(!p.is_zero(), "the zero polynomial has no root set");
+    let n = p.degree();
+    if n == 0 {
+        return JuryResult::Stable;
+    }
+    // Normalize to a positive leading coefficient (roots are unchanged).
+    let coeffs: Vec<f64> = if p.leading_coefficient() < 0.0 {
+        p.coefficients().iter().map(|c| -c).collect()
+    } else {
+        p.coefficients().to_vec()
+    };
+    let scale = coeffs.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+    let tol = EPS * scale;
+
+    // Condition 1: P(1) > 0.
+    let at_one: f64 = coeffs.iter().sum();
+    if at_one <= tol {
+        return if at_one.abs() <= tol {
+            JuryResult::Marginal
+        } else {
+            JuryResult::Unstable
+        };
+    }
+    // Condition 2: (−1)ⁿ P(−1) > 0.
+    let at_minus_one: f64 = coeffs
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| if k % 2 == 0 { c } else { -c })
+        .sum();
+    let signed = if n.is_multiple_of(2) {
+        at_minus_one
+    } else {
+        -at_minus_one
+    };
+    if signed <= tol {
+        return if signed.abs() <= tol {
+            JuryResult::Marginal
+        } else {
+            JuryResult::Unstable
+        };
+    }
+    // Condition 3: |a₀| < aₙ.
+    if coeffs[0].abs() >= coeffs[n] - tol {
+        return if (coeffs[0].abs() - coeffs[n]).abs() <= tol {
+            JuryResult::Marginal
+        } else {
+            JuryResult::Unstable
+        };
+    }
+    // Jury table reduction: row k has entries
+    // b_i = a₀·a_i − a_m·a_{m−i} (ascending order), degree drops by one
+    // each round; require |b₀| ... the *last* entry dominate:
+    // |b_{m−1}| > |b₀| in the descending convention — equivalently, with
+    // ascending coefficients c[0..=m], require |c_m| > |c_0| after each
+    // reduction.
+    let mut row = coeffs;
+    while row.len() > 3 {
+        let m = row.len() - 1;
+        let a0 = row[0];
+        let am = row[m];
+        let next: Vec<f64> = (0..m).map(|i| am * row[m - i] - a0 * row[i]).collect();
+        // `next` is descending-ordered (b₀ corresponds to the highest
+        // term); convert to ascending for uniform handling.
+        let mut asc: Vec<f64> = next.into_iter().rev().collect();
+        // Strip exact-zero leading entries cautiously.
+        let lead = asc.last().copied().unwrap_or(0.0);
+        if lead.abs() <= tol {
+            return JuryResult::Marginal;
+        }
+        if asc[0].abs() >= lead.abs() - tol {
+            return if (asc[0].abs() - lead.abs()).abs() <= tol {
+                JuryResult::Marginal
+            } else {
+                JuryResult::Unstable
+            };
+        }
+        if lead < 0.0 {
+            for c in asc.iter_mut() {
+                *c = -*c;
+            }
+        }
+        row = asc;
+    }
+    JuryResult::Stable
+}
+
+/// Convenience: `true` iff the Jury test reports [`JuryResult::Stable`].
+pub fn is_stable_jury(p: &Polynomial) -> bool {
+    jury_test(p) == JuryResult::Stable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{closed_loop, PidGains};
+
+    #[test]
+    fn constants_are_stable() {
+        assert_eq!(jury_test(&Polynomial::constant(3.0)), JuryResult::Stable);
+    }
+
+    #[test]
+    fn first_order_cases() {
+        // z - 0.5: root 0.5 → stable.
+        assert_eq!(
+            jury_test(&Polynomial::from_roots(&[0.5])),
+            JuryResult::Stable
+        );
+        // z - 1.5 → unstable.
+        assert_eq!(
+            jury_test(&Polynomial::from_roots(&[1.5])),
+            JuryResult::Unstable
+        );
+        // z + 1: root on the circle → marginal.
+        assert_eq!(
+            jury_test(&Polynomial::from_roots(&[-1.0])),
+            JuryResult::Marginal
+        );
+    }
+
+    #[test]
+    fn second_order_complex_pair() {
+        // z² − 1.468z + 0.74: |roots|² = 0.74 → stable.
+        let p = Polynomial::new(vec![0.74, -1.468, 1.0]);
+        assert_eq!(jury_test(&p), JuryResult::Stable);
+        // z² − 1.468z + 1.05: |roots|² > 1 → unstable.
+        let q = Polynomial::new(vec![1.05, -1.468, 1.0]);
+        assert_eq!(jury_test(&q), JuryResult::Unstable);
+    }
+
+    #[test]
+    fn paper_closed_loop_is_jury_stable() {
+        let cl = closed_loop(PidGains::paper(), 0.79);
+        assert_eq!(jury_test(cl.denominator()), JuryResult::Stable);
+    }
+
+    #[test]
+    fn beyond_the_gain_margin_is_jury_unstable() {
+        let cl = closed_loop(PidGains::paper(), 2.3 * 0.79);
+        assert_eq!(jury_test(cl.denominator()), JuryResult::Unstable);
+    }
+
+    #[test]
+    fn negative_leading_coefficient_is_normalized() {
+        // −(z − 0.5)(z − 0.2): same roots, negative leading coefficient.
+        let p = Polynomial::from_roots(&[0.5, 0.2]).scale(-1.0);
+        assert_eq!(jury_test(&p), JuryResult::Stable);
+    }
+
+    #[test]
+    fn agrees_with_the_root_finder_on_a_sweep() {
+        // Cross-validation: for a grid of cubics, Jury and Aberth–Ehrlich
+        // must agree whenever neither is marginal.
+        for i in -4i32..=4 {
+            for j in -4i32..=4 {
+                for k in -4i32..=4 {
+                    let p =
+                        Polynomial::new(vec![k as f64 * 0.3, j as f64 * 0.3, i as f64 * 0.3, 1.0]);
+                    let jury = jury_test(&p);
+                    if jury == JuryResult::Marginal {
+                        continue;
+                    }
+                    let radius = crate::roots::spectral_radius(&p);
+                    // Skip near-circle cases where float noise could flip
+                    // the comparison.
+                    if (radius - 1.0).abs() < 1e-6 {
+                        continue;
+                    }
+                    let by_roots = radius < 1.0;
+                    assert_eq!(
+                        jury == JuryResult::Stable,
+                        by_roots,
+                        "disagreement on {p}: jury {jury:?}, spectral radius {radius}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_panics() {
+        jury_test(&Polynomial::zero());
+    }
+}

@@ -1,0 +1,296 @@
+//! The discrete PID control law (paper Eq. 7) and its z-domain transfer
+//! function (paper Eq. 10).
+//!
+//! The runtime controller implements the *positional* form used by the
+//! paper's PIC:
+//!
+//! ```text
+//! u(t) = K_P·e(t) + K_I·Σ_{u=0}^{t-1} e(u) + K_D·(e(t) − e(t−1))
+//! ```
+//!
+//! with optional integral clamping (anti-windup) — needed in practice
+//! because the DVFS actuator saturates at the lowest/highest V/F pair, and
+//! an unclamped integral would keep accumulating error the actuator cannot
+//! act on.
+
+use crate::poly::Polynomial;
+use crate::tf::TransferFunction;
+
+/// The three PID design parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidGains {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+}
+
+impl PidGains {
+    /// Creates a gain triple.
+    pub const fn new(kp: f64, ki: f64, kd: f64) -> Self {
+        Self { kp, ki, kd }
+    }
+
+    /// The paper's published design point: `K_P = 0.4, K_I = 0.4, K_D = 0.3`
+    /// (§II-D), chosen by pole placement for plant gain `a = 0.79`.
+    pub const fn paper() -> Self {
+        Self::new(0.4, 0.4, 0.3)
+    }
+
+    /// Proportional-only variant (used by the ablation studies).
+    pub const fn p_only(kp: f64) -> Self {
+        Self::new(kp, 0.0, 0.0)
+    }
+
+    /// PI variant (used by the ablation studies).
+    pub const fn pi(kp: f64, ki: f64) -> Self {
+        Self::new(kp, ki, 0.0)
+    }
+
+    /// The z-domain PID transfer function (paper Eq. 10):
+    ///
+    /// ```text
+    /// C(z) = K_P + K_I·z/(z−1) + K_D·(z−1)/z
+    ///      = [ (K_P+K_I+K_D)·z² − (K_P+2K_D)·z + K_D ] / ( z·(z−1) )
+    /// ```
+    ///
+    /// Degenerate gain combinations (`K_I = 0` and/or `K_D = 0`) are built
+    /// in minimal form so no removable `z` / `(z−1)` factor lingers in the
+    /// denominator — an uncancelled `(z−1)` would otherwise make every
+    /// P/PD closed loop *look* marginally unstable to the pole test.
+    pub fn transfer_function(&self) -> TransferFunction {
+        match (self.ki != 0.0, self.kd != 0.0) {
+            (true, true) => TransferFunction::new(
+                Polynomial::new(vec![
+                    self.kd,
+                    -(self.kp + 2.0 * self.kd),
+                    self.kp + self.ki + self.kd,
+                ]),
+                // z(z-1) = z² - z
+                Polynomial::new(vec![0.0, -1.0, 1.0]),
+            ),
+            // PI: ((K_P+K_I)z − K_P) / (z − 1)
+            (true, false) => TransferFunction::new(
+                Polynomial::new(vec![-self.kp, self.kp + self.ki]),
+                Polynomial::new(vec![-1.0, 1.0]),
+            ),
+            // PD: ((K_P+K_D)z − K_D) / z
+            (false, true) => TransferFunction::new(
+                Polynomial::new(vec![-self.kd, self.kp + self.kd]),
+                Polynomial::new(vec![0.0, 1.0]),
+            ),
+            // P: pure gain.
+            (false, false) => TransferFunction::gain(self.kp),
+        }
+    }
+}
+
+/// A stateful PID controller instance.
+///
+/// ```
+/// use cpm_control::{Pid, PidGains};
+///
+/// let mut pid = Pid::new(PidGains::paper());
+/// // First invocation: no integral history, no derivative kick.
+/// assert_eq!(pid.step(1.0), 0.4);
+/// // Second: integral term now carries the first error.
+/// assert_eq!(pid.step(1.0), 0.4 + 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pid {
+    gains: PidGains,
+    integral: f64,
+    prev_error: f64,
+    /// Symmetric clamp on the integral accumulator; `f64::INFINITY`
+    /// disables anti-windup.
+    integral_limit: f64,
+    started: bool,
+}
+
+impl Pid {
+    /// Creates a controller with no anti-windup clamp.
+    pub fn new(gains: PidGains) -> Self {
+        Self {
+            gains,
+            integral: 0.0,
+            prev_error: 0.0,
+            integral_limit: f64::INFINITY,
+            started: false,
+        }
+    }
+
+    /// Sets a symmetric bound `|Σe| ≤ limit` on the integral accumulator.
+    pub fn with_integral_limit(mut self, limit: f64) -> Self {
+        assert!(limit > 0.0, "integral limit must be positive");
+        self.integral_limit = limit;
+        self
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+
+    /// Current integral accumulator (Σ of past errors, excluding the one
+    /// passed to the most recent `step` — matching Eq. 7's upper bound of
+    /// `t−1`).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Advances the controller one invocation with the current error
+    /// `e(t) = reference − measurement`, returning the control output `u(t)`.
+    pub fn step(&mut self, error: f64) -> f64 {
+        let derivative = if self.started {
+            error - self.prev_error
+        } else {
+            // First invocation: no previous sample, so no derivative kick.
+            0.0
+        };
+        let u = self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
+        // Post-update so the integral term covers u = 0..t-1 as in Eq. 7.
+        self.integral = (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
+        self.prev_error = error;
+        self.started = true;
+        u
+    }
+
+    /// Back-calculation anti-windup: informs the controller that
+    /// `unrealized` of its last output could not be actuated (slew or
+    /// range saturation downstream). The integral is rewound by the
+    /// equivalent amount so it does not keep accumulating action the
+    /// actuator cannot deliver. No-op for `K_I = 0`.
+    pub fn back_calculate(&mut self, unrealized: f64) {
+        if self.gains.ki != 0.0 {
+            self.integral = (self.integral - unrealized / self.gains.ki)
+                .clamp(-self.integral_limit, self.integral_limit);
+        }
+    }
+
+    /// Resets all controller state (integral, derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = 0.0;
+        self.started = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_only_scales_error() {
+        let mut pid = Pid::new(PidGains::p_only(0.5));
+        assert_eq!(pid.step(2.0), 1.0);
+        assert_eq!(pid.step(-4.0), -2.0);
+    }
+
+    #[test]
+    fn integral_accumulates_past_errors_only() {
+        // Eq. 7 sums e(u) for u = 0..t-1: the current error enters the
+        // integral term only on the *next* invocation.
+        let mut pid = Pid::new(PidGains::new(0.0, 1.0, 0.0));
+        assert_eq!(pid.step(1.0), 0.0); // Σ over empty set
+        assert_eq!(pid.step(1.0), 1.0); // Σ = e(0)
+        assert_eq!(pid.step(1.0), 2.0); // Σ = e(0)+e(1)
+    }
+
+    #[test]
+    fn derivative_responds_to_change() {
+        let mut pid = Pid::new(PidGains::new(0.0, 0.0, 2.0));
+        assert_eq!(pid.step(1.0), 0.0); // no previous sample → no kick
+        assert_eq!(pid.step(3.0), 4.0); // Δe = 2
+        assert_eq!(pid.step(3.0), 0.0); // Δe = 0
+    }
+
+    #[test]
+    fn combined_gains_match_eq7() {
+        let mut pid = Pid::new(PidGains::paper());
+        let errors = [1.0, 0.5, -0.25];
+        let mut integral = 0.0;
+        let mut prev = 0.0;
+        for (t, &e) in errors.iter().enumerate() {
+            let d = if t == 0 { 0.0 } else { e - prev };
+            let expect = 0.4 * e + 0.4 * integral + 0.3 * d;
+            assert!((pid.step(e) - expect).abs() < 1e-12);
+            integral += e;
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn anti_windup_clamps_integral() {
+        let mut pid = Pid::new(PidGains::new(0.0, 1.0, 0.0)).with_integral_limit(2.5);
+        for _ in 0..10 {
+            pid.step(1.0);
+        }
+        assert_eq!(pid.integral(), 2.5);
+        // And it unwinds symmetrically.
+        for _ in 0..10 {
+            pid.step(-1.0);
+        }
+        assert_eq!(pid.integral(), -2.5);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidGains::paper());
+        pid.step(5.0);
+        pid.step(1.0);
+        pid.reset();
+        assert_eq!(pid.integral(), 0.0);
+        // After reset, behaves like a fresh controller (no derivative kick).
+        assert!((pid.step(1.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_function_matches_eq10_shape() {
+        // C(z) numerator: (KP+KI+KD)z² − (KP+2KD)z + KD over z(z−1).
+        let c = PidGains::paper().transfer_function();
+        assert_eq!(c.numerator().coefficients(), &[0.3, -1.0, 1.1]);
+        assert_eq!(c.denominator().coefficients(), &[0.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn tf_has_integrator_pole() {
+        // The PID transfer function has poles at z = 0 and z = 1.
+        let c = PidGains::paper().transfer_function();
+        let poles = c.poles();
+        assert_eq!(poles.len(), 2);
+        assert!(poles.iter().any(|p| p.norm() < 1e-12));
+        assert!(poles
+            .iter()
+            .any(|p| (p.re - 1.0).abs() < 1e-12 && p.im.abs() < 1e-12));
+    }
+
+    #[test]
+    fn stateful_controller_matches_tf_simulation() {
+        // Drive both the stateful Pid and its transfer function with the
+        // same error sequence; outputs must agree sample-for-sample.
+        //
+        // Subtlety: the runtime Pid uses Σ_{u<t} e(u) (strictly past), while
+        // C(z)'s integral term K_I·z/(z−1) sums through the current sample.
+        // Eq. 7 and Eq. 10 differ by exactly K_I·e(t); the runtime follows
+        // Eq. 7, so compare against the TF with the current-sample term
+        // removed: C'(z) = C(z) − K_I. The error sequence starts at e(0)=0
+        // so the runtime's suppressed first-sample derivative kick matches
+        // the TF's rest assumption (e(−1)=0) as well.
+        let gains = PidGains::paper();
+        let c = gains.transfer_function();
+        let c_past = c.parallel(&TransferFunction::gain(-gains.ki));
+        let errors: Vec<f64> = (0..20).map(|t| ((t as f64) * 0.7).sin()).collect();
+        let tf_out = c_past.simulate(&errors);
+        let mut pid = Pid::new(gains);
+        for (t, &e) in errors.iter().enumerate() {
+            let u = pid.step(e);
+            assert!(
+                (u - tf_out[t]).abs() < 1e-9,
+                "t={t}: pid {u} vs tf {}",
+                tf_out[t]
+            );
+        }
+    }
+}

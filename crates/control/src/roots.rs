@@ -1,0 +1,309 @@
+//! Polynomial root finding via the Aberth–Ehrlich simultaneous iteration.
+//!
+//! Used to compute the poles and zeros of z-domain transfer functions.
+//! Degrees 1 and 2 are handled in closed form; higher degrees use
+//! Aberth–Ehrlich, which converges cubically for simple roots and is robust
+//! for the small (≤ ~10th degree), well-scaled polynomials produced by
+//! controller analysis.
+
+use crate::complex::Complex;
+use crate::poly::Polynomial;
+
+/// Iteration limit for the Aberth–Ehrlich loop.
+const MAX_ITERS: usize = 200;
+/// Convergence threshold on the largest correction step, relative to the
+/// root-radius bound.
+const STEP_TOL: f64 = 1e-13;
+
+/// Finds all complex roots of `p` (with multiplicity).
+///
+/// Returns an empty vector for constant polynomials. Panics on the zero
+/// polynomial, which has no well-defined root set.
+pub fn roots(p: &Polynomial) -> Vec<Complex> {
+    assert!(!p.is_zero(), "the zero polynomial has no root set");
+    // Strip exact zero roots at the origin first (x | p). This both speeds
+    // convergence and keeps the Cauchy bound meaningful for polynomials
+    // like z²·(…).
+    let coeffs = p.coefficients();
+    let zero_roots = coeffs.iter().take_while(|&&c| c == 0.0).count();
+    let reduced = Polynomial::new(coeffs[zero_roots..].to_vec());
+    let mut out = vec![Complex::ZERO; zero_roots];
+    out.extend(roots_nonzero(&reduced));
+    out
+}
+
+fn roots_nonzero(p: &Polynomial) -> Vec<Complex> {
+    match p.degree() {
+        0 => Vec::new(),
+        1 => {
+            let c = p.coefficients();
+            vec![Complex::real(-c[0] / c[1])]
+        }
+        2 => quadratic_roots(p),
+        _ => aberth(p),
+    }
+}
+
+/// Closed-form quadratic solver with a numerically stable formulation
+/// (avoids catastrophic cancellation for b² ≫ 4ac).
+fn quadratic_roots(p: &Polynomial) -> Vec<Complex> {
+    let c = p.coefficients();
+    let (a, b, cc) = (c[2], c[1], c[0]);
+    let disc = b * b - 4.0 * a * cc;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // q = -(b + sign(b)·√disc)/2 ; roots are q/a and c/q.
+        let q = -0.5 * (b + b.signum() * sq);
+        if q == 0.0 {
+            // b == 0 and disc == 0 → double root at 0.
+            return vec![Complex::ZERO, Complex::ZERO];
+        }
+        vec![Complex::real(q / a), Complex::real(cc / q)]
+    } else {
+        let re = -b / (2.0 * a);
+        let im = (-disc).sqrt() / (2.0 * a);
+        vec![Complex::new(re, im), Complex::new(re, -im)]
+    }
+}
+
+/// Cauchy's bound: all roots lie within `1 + max|cᵢ/c_n|`.
+fn cauchy_bound(p: &Polynomial) -> f64 {
+    let c = p.coefficients();
+    let lead = c[c.len() - 1].abs();
+    let m = c[..c.len() - 1]
+        .iter()
+        .fold(0.0f64, |acc, &x| acc.max(x.abs() / lead));
+    1.0 + m
+}
+
+fn aberth(p: &Polynomial) -> Vec<Complex> {
+    let n = p.degree();
+    let monic = p.monic();
+    let dmonic = monic.derivative();
+    let radius = cauchy_bound(&monic).min(1e8);
+
+    // Initial guesses: points on a circle of ~half the Cauchy radius with an
+    // irrational angular offset so no guess starts on the real axis (real
+    // axis symmetry can otherwise stall the iteration on real-coefficient
+    // polynomials with complex roots).
+    let mut z: Vec<Complex> = (0..n)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64) / (n as f64) + 0.43762797;
+            Complex::from_polar(0.5 * radius.max(1e-3), theta)
+        })
+        .collect();
+
+    for _ in 0..MAX_ITERS {
+        let mut max_step = 0.0f64;
+        let snapshot = z.clone();
+        for (k, zk) in z.iter_mut().enumerate() {
+            let pv = monic.eval_complex(*zk);
+            let dv = dmonic.eval_complex(*zk);
+            if pv.norm() == 0.0 {
+                continue;
+            }
+            // Newton ratio with a nudge if p'(z) vanished.
+            let w = if dv.norm() < 1e-300 {
+                Complex::new(1e-8, 1e-8)
+            } else {
+                pv / dv
+            };
+            // Aberth correction: sum over the other current root estimates.
+            let mut s = Complex::ZERO;
+            for (j, zj) in snapshot.iter().enumerate() {
+                if j != k {
+                    let d = *zk - *zj;
+                    if d.norm_sqr() > 1e-300 {
+                        s += d.recip();
+                    }
+                }
+            }
+            let denom = Complex::ONE - w * s;
+            let step = if denom.norm() < 1e-300 { w } else { w / denom };
+            *zk = *zk - step;
+            max_step = max_step.max(step.norm());
+        }
+        if max_step < STEP_TOL * radius {
+            break;
+        }
+    }
+    // Polish with a few Newton steps for extra accuracy.
+    for zk in z.iter_mut() {
+        for _ in 0..4 {
+            let pv = monic.eval_complex(*zk);
+            let dv = dmonic.eval_complex(*zk);
+            if dv.norm() < 1e-300 {
+                break;
+            }
+            *zk = *zk - pv / dv;
+        }
+        // Snap near-real roots onto the real axis (real coefficients mean
+        // roots come in conjugate pairs; lone imaginary dust is iteration
+        // noise).
+        if zk.im.abs() < 1e-9 * (1.0 + zk.re.abs()) {
+            zk.im = 0.0;
+        }
+    }
+    z
+}
+
+/// Returns the spectral radius: the largest root modulus of `p`.
+pub fn spectral_radius(p: &Polynomial) -> f64 {
+    roots(p).into_iter().fold(0.0f64, |m, r| m.max(r.norm()))
+}
+
+/// True when every root of `p` lies strictly inside the unit circle —
+/// the discrete-time (z-domain) stability criterion used throughout the
+/// paper's §II-D.
+pub fn all_roots_in_unit_circle(p: &Polynomial) -> bool {
+    spectral_radius(p) < 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut rs: Vec<Complex>) -> Vec<f64> {
+        rs.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+        rs.into_iter().map(|r| r.re).collect()
+    }
+
+    fn assert_roots_close(p: &Polynomial, expected: &[f64]) {
+        let rs = roots(p);
+        assert_eq!(rs.len(), expected.len());
+        for r in &rs {
+            assert!(r.im.abs() < 1e-7, "expected real root, got {r}");
+        }
+        let got = sorted_real(rs);
+        let mut exp = expected.to_vec();
+        exp.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, e) in got.iter().zip(exp.iter()) {
+            assert!((g - e).abs() < 1e-7, "root {g} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn linear_root() {
+        assert_roots_close(&Polynomial::new(vec![-3.0, 1.5]), &[2.0]);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        assert_roots_close(&Polynomial::from_roots(&[1.0, -4.0]), &[1.0, -4.0]);
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        // z² + 1 = 0 → ±i
+        let rs = roots(&Polynomial::new(vec![1.0, 0.0, 1.0]));
+        assert_eq!(rs.len(), 2);
+        for r in rs {
+            assert!(r.re.abs() < 1e-12);
+            assert!((r.im.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_extreme_coefficients_stable() {
+        // x² + 1e8·x + 1 has roots ≈ -1e8 and ≈ -1e-8; the naive formula
+        // destroys the small one.
+        let rs = roots(&Polynomial::new(vec![1.0, 1.0e8, 1.0]));
+        let got = sorted_real(rs);
+        assert!((got[0] + 1.0e8).abs() / 1.0e8 < 1e-12);
+        assert!((got[1] + 1.0e-8).abs() / 1.0e-8 < 1e-9);
+    }
+
+    #[test]
+    fn cubic_known_roots() {
+        assert_roots_close(
+            &Polynomial::from_roots(&[0.5, -0.25, 0.9]),
+            &[0.5, -0.25, 0.9],
+        );
+    }
+
+    #[test]
+    fn high_degree_real_roots() {
+        let expected = [-2.0, -1.0, -0.3, 0.2, 0.7, 1.5, 3.0];
+        assert_roots_close(&Polynomial::from_roots(&expected), &expected);
+    }
+
+    #[test]
+    fn mixed_complex_roots() {
+        // (z² - 1.468z + 0.74)(z + 0.2995): the paper's Eq. 12 denominator
+        // shape. Complex pair at 0.734 ± i·sqrt(0.74 - 0.734²).
+        let quad = Polynomial::new(vec![0.74, -1.468, 1.0]);
+        let lin = Polynomial::new(vec![0.2995, 1.0]);
+        let p = &quad * &lin;
+        let rs = roots(&p);
+        assert_eq!(rs.len(), 3);
+        let real: Vec<_> = rs.iter().filter(|r| r.im == 0.0).collect();
+        assert_eq!(real.len(), 1);
+        assert!((real[0].re + 0.2995).abs() < 1e-9);
+        let cplx: Vec<_> = rs.iter().filter(|r| r.im != 0.0).collect();
+        assert_eq!(cplx.len(), 2);
+        for c in cplx {
+            assert!((c.norm_sqr() - 0.74).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_roots_at_origin_are_stripped() {
+        // z³(z - 2) = z⁴ - 2z³
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0, -2.0, 1.0]);
+        let rs = roots(&p);
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.iter().filter(|r| r.norm() == 0.0).count(), 3);
+        assert!(rs.iter().any(|r| (r.re - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn repeated_roots_converge() {
+        // (z - 0.5)³ — multiple roots converge slower (linear) but should
+        // still land within a loose tolerance.
+        let p = Polynomial::from_roots(&[0.5, 0.5, 0.5]);
+        let rs = roots(&p);
+        for r in rs {
+            assert!((r - Complex::real(0.5)).norm() < 1e-3, "got {r}");
+        }
+    }
+
+    #[test]
+    fn spectral_radius_and_stability() {
+        let stable = Polynomial::from_roots(&[0.3, -0.8, 0.05]);
+        assert!(all_roots_in_unit_circle(&stable));
+        assert!((spectral_radius(&stable) - 0.8).abs() < 1e-9);
+
+        let unstable = Polynomial::from_roots(&[0.3, -1.01]);
+        assert!(!all_roots_in_unit_circle(&unstable));
+    }
+
+    #[test]
+    fn constant_polynomial_has_no_roots() {
+        assert!(roots(&Polynomial::constant(5.0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn zero_polynomial_panics() {
+        roots(&Polynomial::zero());
+    }
+
+    #[test]
+    fn roots_reconstruct_polynomial() {
+        // Verify by re-expanding: Π(z - rᵢ) should match the monic input.
+        let p = Polynomial::new(vec![0.237, 0.21, -1.131, 1.0]); // Eq. 12 denom
+        let rs = roots(&p);
+        let mut recon = Polynomial::constant(1.0);
+        for r in &rs {
+            if r.im == 0.0 {
+                recon = &recon * &Polynomial::new(vec![-r.re, 1.0]);
+            } else if r.im > 0.0 {
+                // conjugate pair → real quadratic z² - 2Re·z + |z|²
+                recon = &recon * &Polynomial::new(vec![r.norm_sqr(), -2.0 * r.re, 1.0]);
+            }
+        }
+        for (a, b) in recon.coefficients().iter().zip(p.coefficients()) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+}

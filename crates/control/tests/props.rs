@@ -1,0 +1,161 @@
+//! Property-based tests for the control-theory toolkit.
+
+use cpm_control::jury::{jury_test, JuryResult};
+use cpm_control::{analysis, closed_loop, Pid, PidGains, Polynomial, TransferFunction};
+use proptest::prelude::*;
+
+/// Small real coefficients that keep evaluation well-conditioned.
+fn coeff() -> impl Strategy<Value = f64> {
+    (-5.0..5.0f64).prop_filter("nonzero-ish", |c| c.abs() > 1e-6 || *c == 0.0)
+}
+
+/// Roots comfortably inside/outside the unit circle (avoids the boundary).
+fn real_root() -> impl Strategy<Value = f64> {
+    prop_oneof![(-0.95..0.95f64), (1.05..3.0f64), (-3.0..-1.05f64)]
+}
+
+proptest! {
+    #[test]
+    fn polynomial_product_evaluates_pointwise(
+        a in prop::collection::vec(coeff(), 1..5),
+        b in prop::collection::vec(coeff(), 1..5),
+        x in -3.0..3.0f64,
+    ) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let prod = &pa * &pb;
+        let direct = pa.eval(x) * pb.eval(x);
+        prop_assert!((prod.eval(x) - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn polynomial_sum_evaluates_pointwise(
+        a in prop::collection::vec(coeff(), 1..6),
+        b in prop::collection::vec(coeff(), 1..6),
+        x in -3.0..3.0f64,
+    ) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let sum = &pa + &pb;
+        prop_assert!((sum.eval(x) - (pa.eval(x) + pb.eval(x))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roots_of_constructed_polynomial_are_recovered(
+        roots in prop::collection::vec(real_root(), 1..6),
+    ) {
+        // Keep roots pairwise separated so multiplicity doesn't slow
+        // convergence below test tolerance.
+        let mut rs = roots.clone();
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assume!(rs.windows(2).all(|w| (w[1] - w[0]).abs() > 0.05));
+        let p = Polynomial::from_roots(&rs);
+        let complex_roots = cpm_control::roots::roots(&p);
+        let mut found = Vec::with_capacity(complex_roots.len());
+        for z in complex_roots {
+            prop_assert!(z.im.abs() < 1e-5, "spurious complex root {z}");
+            found.push(z.re);
+        }
+        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (f, r) in found.iter().zip(&rs) {
+            prop_assert!((f - r).abs() < 1e-4, "root {f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn stability_test_agrees_with_construction(
+        inside in prop::collection::vec(-0.9..0.9f64, 1..5),
+        outside in 1.05..2.0f64,
+    ) {
+        let stable = Polynomial::from_roots(&inside);
+        prop_assert!(cpm_control::roots::all_roots_in_unit_circle(&stable));
+        let mut with_outlier = inside.clone();
+        with_outlier.push(outside);
+        let unstable = Polynomial::from_roots(&with_outlier);
+        prop_assert!(!cpm_control::roots::all_roots_in_unit_circle(&unstable));
+    }
+
+    #[test]
+    fn stable_tf_step_response_converges_to_dc_gain(
+        pole1 in -0.8..0.8f64,
+        pole2 in -0.8..0.8f64,
+        num in 0.1..2.0f64,
+    ) {
+        let den = Polynomial::from_roots(&[pole1, pole2]);
+        let tf = TransferFunction::new(Polynomial::constant(num), den);
+        prop_assume!(tf.is_stable());
+        let dc = tf.dc_gain();
+        prop_assume!(dc.is_finite());
+        let y = tf.step_response(400);
+        prop_assert!(
+            (y[399] - dc).abs() < 1e-3 * (1.0 + dc.abs()),
+            "final {} vs dc {}", y[399], dc
+        );
+    }
+
+    #[test]
+    fn pid_integral_respects_its_clamp(
+        errors in prop::collection::vec(-10.0..10.0f64, 1..100),
+        limit in 0.1..5.0f64,
+    ) {
+        let mut pid = Pid::new(PidGains::paper()).with_integral_limit(limit);
+        for e in errors {
+            pid.step(e);
+            prop_assert!(pid.integral().abs() <= limit + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pid_output_is_linear_in_error_scale(
+        errors in prop::collection::vec(-2.0..2.0f64, 1..30),
+        scale in 0.1..5.0f64,
+    ) {
+        // With no clamping, PID is a linear operator: scaling the error
+        // sequence scales the output sequence.
+        let mut a = Pid::new(PidGains::paper());
+        let mut b = Pid::new(PidGains::paper());
+        for e in &errors {
+            let ua = a.step(*e);
+            let ub = b.step(*e * scale);
+            prop_assert!((ub - ua * scale).abs() < 1e-9 * (1.0 + ua.abs() * scale));
+        }
+    }
+
+    #[test]
+    fn jury_agrees_with_the_root_finder(
+        roots in prop::collection::vec(real_root(), 1..6),
+    ) {
+        let p = Polynomial::from_roots(&roots);
+        let radius = cpm_control::roots::spectral_radius(&p);
+        prop_assume!((radius - 1.0).abs() > 1e-3, "skip near-circle cases");
+        match jury_test(&p) {
+            JuryResult::Stable => prop_assert!(radius < 1.0, "jury stable but radius {radius}"),
+            JuryResult::Unstable => prop_assert!(radius > 1.0, "jury unstable but radius {radius}"),
+            JuryResult::Marginal => {} // numerically indeterminate — no claim
+        }
+    }
+
+    #[test]
+    fn closed_loop_is_stable_within_the_gain_margin(
+        frac in 0.05..0.95f64,
+    ) {
+        let margin = analysis::gain_margin(PidGains::paper(), 0.79, 1e-3);
+        let cl = closed_loop(PidGains::paper(), frac * margin * 0.79);
+        prop_assert!(cl.is_stable(), "g = {} within margin {}", frac * margin, margin);
+    }
+
+    #[test]
+    fn step_metrics_overshoot_nonnegative_and_consistent(
+        y in prop::collection::vec(0.0..3.0f64, 2..50),
+    ) {
+        let m = analysis::step_metrics(&y, 1.0, 0.05);
+        prop_assert!(m.overshoot >= 0.0);
+        let peak = y.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((m.overshoot - (peak - 1.0).max(0.0)).abs() < 1e-12);
+        if let Some(k) = m.settling_steps {
+            for v in &y[k..] {
+                prop_assert!((v - 1.0).abs() <= 0.05 + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The Global Power Manager: chip-budget provisioning across islands.
+//!
+//! The GPM runs every `T_global` (5 ms). It reads per-island feedback from
+//! the *previous* GPM interval and produces the next power allocation,
+//! delegating the actual split to a pluggable [`ProvisioningPolicy`] —
+//! the decoupling the paper highlights as the architecture's key
+//! flexibility (§II-C). The GPM then enforces two invariants regardless of
+//! policy behaviour:
+//!
+//! * allocations are clamped to each island's physical range
+//!   `[idle floor, island max]`, with the excess re-distributed
+//!   (water-filling), and
+//! * the total never exceeds the chip budget.
+
+use cpm_units::{IslandId, Joules, Ratio, Watts};
+
+/// What the GPM observed about one island over the last GPM interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslandFeedback {
+    /// The island.
+    pub island: IslandId,
+    /// Power allocated to it for the interval just ended.
+    pub allocated: Watts,
+    /// Average actual power it drew.
+    pub actual_power: Watts,
+    /// Average throughput (billions of instructions per second).
+    pub bips: f64,
+    /// Mean CPU utilization.
+    pub utilization: Ratio,
+    /// Energy per instruction over the interval, when instructions retired.
+    pub epi: Option<Joules>,
+    /// Hottest core temperature in the island, °C.
+    pub peak_temperature: f64,
+}
+
+/// Constraint-violation statistics a policy may accumulate (used by the
+/// thermal-aware policy and by observe-only trackers; see
+/// [`crate::policies::thermal`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViolationStats {
+    /// Intervals observed.
+    pub intervals: u64,
+    /// Intervals in which at least one constraint was violated.
+    pub violated_intervals: u64,
+}
+
+impl ViolationStats {
+    /// Fraction of intervals with a violation (Fig. 18(c)).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.violated_intervals as f64 / self.intervals as f64
+        }
+    }
+}
+
+/// A policy that splits the chip budget across islands.
+pub trait ProvisioningPolicy {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Computes the next per-island allocation. `feedback` is ordered by
+    /// island id; the returned vector must have the same length. The GPM
+    /// post-processes the result (range clamping + budget capping), so a
+    /// policy may return an idealized split.
+    fn provision(&mut self, budget: Watts, feedback: &[IslandFeedback]) -> Vec<Watts>;
+
+    /// Constraint-violation statistics, for policies that track them
+    /// (default: none).
+    fn violation_stats(&self) -> Option<&ViolationStats> {
+        None
+    }
+}
+
+/// Physical allocation bounds for one island.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslandRange {
+    /// Power the island draws even at the lowest V/F point (cannot
+    /// allocate below this — the PIC could not meet it).
+    pub floor: Watts,
+    /// Power at the top V/F point, fully active.
+    pub ceiling: Watts,
+}
+
+/// The GPM: budget + policy + allocation post-processing.
+pub struct GlobalPowerManager {
+    budget: Watts,
+    policy: Box<dyn ProvisioningPolicy + Send>,
+    ranges: Vec<IslandRange>,
+    invocations: u64,
+}
+
+impl GlobalPowerManager {
+    /// Creates a GPM with the given chip budget, policy, and per-island
+    /// physical ranges.
+    pub fn new(
+        budget: Watts,
+        policy: Box<dyn ProvisioningPolicy + Send>,
+        ranges: Vec<IslandRange>,
+    ) -> Self {
+        assert!(!ranges.is_empty(), "need at least one island");
+        assert!(budget.value() > 0.0, "budget must be positive");
+        for r in &ranges {
+            assert!(r.floor.value() >= 0.0 && r.ceiling > r.floor);
+        }
+        let floor_sum: Watts = ranges.iter().map(|r| r.floor).sum();
+        assert!(
+            budget >= floor_sum,
+            "budget {budget} below the chip's idle floor {floor_sum}"
+        );
+        Self {
+            budget,
+            policy,
+            ranges,
+            invocations: 0,
+        }
+    }
+
+    /// The chip-wide budget.
+    pub fn budget(&self) -> Watts {
+        self.budget
+    }
+
+    /// Updates the chip-wide budget (e.g. a rack-level manager changed it).
+    pub fn set_budget(&mut self, budget: Watts) {
+        let floor_sum: Watts = self.ranges.iter().map(|r| r.floor).sum();
+        assert!(budget >= floor_sum, "budget below idle floor");
+        self.budget = budget;
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Constraint-violation statistics from the active policy, if it
+    /// tracks any (the thermal-aware policy does).
+    pub fn policy_violation_stats(&self) -> Option<&ViolationStats> {
+        self.policy.violation_stats()
+    }
+
+    /// GPM invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Initial allocation before any feedback exists: the equal split of
+    /// the paper ("power is initially provisioned equally to each island",
+    /// §II-C), range-clamped.
+    pub fn initial_allocation(&self) -> Vec<Watts> {
+        let n = self.ranges.len();
+        let equal = vec![self.budget / n as f64; n];
+        self.normalize(equal)
+    }
+
+    /// One GPM invocation: run the policy, then enforce the invariants.
+    pub fn provision(&mut self, feedback: &[IslandFeedback]) -> Vec<Watts> {
+        assert_eq!(
+            feedback.len(),
+            self.ranges.len(),
+            "feedback must cover every island"
+        );
+        self.invocations += 1;
+        let raw = self.policy.provision(self.budget, feedback);
+        assert_eq!(
+            raw.len(),
+            self.ranges.len(),
+            "policy must allocate every island"
+        );
+        self.normalize(raw)
+    }
+
+    /// Clamps each allocation into its island's physical range and, when
+    /// the total exceeds the budget, shaves the excess proportionally
+    /// above the floors. The GPM never *adds* power a policy did not ask
+    /// for: an under-budget allocation is a legitimate policy decision
+    /// (the thermal-aware policy deliberately strands power to keep
+    /// adjacent islands cool, and the demand-ceiling logic strands power
+    /// no island can convert into work).
+    fn normalize(&self, mut alloc: Vec<Watts>) -> Vec<Watts> {
+        let n = alloc.len();
+        // Non-finite or negative policy outputs become the floor.
+        for (a, r) in alloc.iter_mut().zip(&self.ranges) {
+            if !a.is_finite() || *a < r.floor {
+                *a = r.floor;
+            }
+            if *a > r.ceiling {
+                *a = r.ceiling;
+            }
+        }
+        // Over budget: shave proportionally above floors (a few passes
+        // converge for n ≤ 32; floors bound the shave per pass).
+        for _ in 0..n + 2 {
+            let total: Watts = alloc.iter().copied().sum();
+            let over = total - self.budget;
+            if over.value() <= 1e-9 {
+                break;
+            }
+            let slack: Vec<f64> = alloc
+                .iter()
+                .zip(&self.ranges)
+                .map(|(a, r)| (*a - r.floor).value())
+                .collect();
+            let total_slack: f64 = slack.iter().sum();
+            if total_slack <= 1e-12 {
+                break;
+            }
+            let scale = (over.value() / total_slack).min(1.0);
+            for (a, s) in alloc.iter_mut().zip(&slack) {
+                *a -= Watts::new(s * scale);
+            }
+        }
+        alloc
+    }
+}
+
+impl std::fmt::Debug for GlobalPowerManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalPowerManager")
+            .field("budget", &self.budget)
+            .field("policy", &self.policy.name())
+            .field("islands", &self.ranges.len())
+            .field("invocations", &self.invocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Policy double: returns whatever allocations it was primed with.
+    struct Fixed(Vec<f64>);
+    impl ProvisioningPolicy for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn provision(&mut self, _b: Watts, _f: &[IslandFeedback]) -> Vec<Watts> {
+            self.0.iter().map(|&w| Watts::new(w)).collect()
+        }
+    }
+
+    fn ranges4() -> Vec<IslandRange> {
+        vec![
+            IslandRange {
+                floor: Watts::new(4.0),
+                ceiling: Watts::new(25.0),
+            };
+            4
+        ]
+    }
+
+    fn feedback4() -> Vec<IslandFeedback> {
+        (0..4)
+            .map(|i| IslandFeedback {
+                island: IslandId(i),
+                allocated: Watts::new(20.0),
+                actual_power: Watts::new(18.0),
+                bips: 2.0,
+                utilization: Ratio::new(0.7),
+                epi: None,
+                peak_temperature: 60.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_allocation_is_equal_split() {
+        let gpm = GlobalPowerManager::new(Watts::new(80.0), Box::new(Fixed(vec![])), ranges4());
+        let a = gpm.initial_allocation();
+        for w in &a {
+            assert!((w.value() - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn over_budget_requests_are_shaved_never_padded() {
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(60.0),
+            Box::new(Fixed(vec![25.0, 25.0, 25.0, 25.0])),
+            ranges4(),
+        );
+        let a = gpm.provision(&feedback4());
+        let total: f64 = a.iter().map(|w| w.value()).sum();
+        assert!((total - 60.0).abs() < 1e-6, "shaved to the budget: {total}");
+        // Under-budget requests are honored verbatim (no upward fill).
+        let mut gpm2 = GlobalPowerManager::new(
+            Watts::new(80.0),
+            Box::new(Fixed(vec![10.0, 10.0, 10.0, 10.0])),
+            ranges4(),
+        );
+        let b = gpm2.provision(&feedback4());
+        for w in &b {
+            assert!((w.value() - 10.0).abs() < 1e-9, "no padding: {w}");
+        }
+    }
+
+    #[test]
+    fn floors_are_respected() {
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(30.0),
+            Box::new(Fixed(vec![0.0, 0.0, 0.0, 30.0])),
+            ranges4(),
+        );
+        let a = gpm.provision(&feedback4());
+        for (i, w) in a.iter().enumerate() {
+            assert!(w.value() >= 4.0 - 1e-9, "island {i} below floor: {w}");
+        }
+        let total: f64 = a.iter().map(|w| w.value()).sum();
+        assert!(total <= 30.0 + 1e-6);
+    }
+
+    #[test]
+    fn nan_policy_output_degrades_to_floor() {
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(80.0),
+            Box::new(Fixed(vec![f64::NAN, 20.0, 20.0, 20.0])),
+            ranges4(),
+        );
+        let a = gpm.provision(&feedback4());
+        assert!(a[0].is_finite());
+        assert!(a[0].value() >= 4.0);
+    }
+
+    #[test]
+    fn requests_above_ceiling_are_clamped() {
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(200.0),
+            Box::new(Fixed(vec![60.0, 60.0, 60.0, 60.0])),
+            ranges4(),
+        );
+        let a = gpm.provision(&feedback4());
+        for w in &a {
+            assert!((w.value() - 25.0).abs() < 1e-6, "ceiling expected, got {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "idle floor")]
+    fn infeasible_budget_rejected() {
+        GlobalPowerManager::new(Watts::new(10.0), Box::new(Fixed(vec![])), ranges4());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every island")]
+    fn wrong_feedback_length_panics() {
+        let mut gpm =
+            GlobalPowerManager::new(Watts::new(80.0), Box::new(Fixed(vec![20.0; 4])), ranges4());
+        gpm.provision(&feedback4()[..2]);
+    }
+
+    #[test]
+    fn invocations_count() {
+        let mut gpm =
+            GlobalPowerManager::new(Watts::new(80.0), Box::new(Fixed(vec![20.0; 4])), ranges4());
+        gpm.provision(&feedback4());
+        gpm.provision(&feedback4());
+        assert_eq!(gpm.invocations(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! System identification against the running chip (§II-D).
+//!
+//! The paper builds its PIC design on the first-order plant model
+//! `P(t+1) = P(t) + aᵢ·d(t)` (Eq. 8), identified by running the PARSEC
+//! suite *except bodytrack*, fitting the gain per workload, and averaging
+//! (obtaining `a = 0.79`); the model is then validated by running bodytrack
+//! on all islands under white-noise DVFS wiggling and comparing predicted
+//! vs actual power (Fig. 5, average error within ~1 %).
+//!
+//! This module reproduces both steps against the simulator:
+//! [`identify_gain`] fits `aᵢ` for one workload, [`identify_gain_paper`]
+//! averages across the leave-bodytrack-out suite, and [`validate_model`]
+//! produces the Fig. 5 traces and error.
+
+use cpm_control::noise::WhiteNoise;
+use cpm_control::sysid::fit_gain_through_origin;
+use cpm_sim::{Chip, CmpConfig};
+use cpm_units::IslandId;
+use cpm_workloads::{parsec, BenchmarkProfile, WorkloadAssignment};
+
+/// Builds a chip running one benchmark on every core.
+fn homogeneous_chip(cmp: &CmpConfig, profile: &BenchmarkProfile) -> Chip {
+    let assignment =
+        WorkloadAssignment::new(vec![profile.clone(); cmp.cores], cmp.cores_per_island);
+    Chip::new(cmp.clone(), &assignment)
+}
+
+/// Normalized island power: fraction of the island's share of the
+/// max-power basis.
+fn island_p_norm(chip: &Chip, island_power: f64) -> f64 {
+    let islands = chip.config().islands() as f64;
+    island_power / (chip.max_power().value() / islands)
+}
+
+/// Normalized frequency position of a DVFS index in `[0, 1]`.
+fn f_norm(cmp: &CmpConfig, idx: usize) -> f64 {
+    let t = &cmp.dvfs;
+    (t.point(idx).frequency - t.min_point().frequency) / t.frequency_span()
+}
+
+/// Fits the plant gain `a` for one workload by wandering the DVFS knobs
+/// randomly and regressing normalized power deltas on normalized frequency
+/// deltas (through the origin, Eq. 8).
+pub fn identify_gain(cmp: &CmpConfig, profile: &BenchmarkProfile, seed: u64, rounds: usize) -> f64 {
+    let mut chip = homogeneous_chip(cmp, profile);
+    let mut noise = WhiteNoise::new(seed, 1.0);
+    let islands = cmp.islands();
+    let levels = cmp.dvfs.len();
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut prev_idx = vec![levels - 1; islands];
+    let mut prev_p: Option<Vec<f64>> = None;
+    for _ in 0..rounds {
+        // Pick a random level per island.
+        let idx: Vec<usize> = (0..islands)
+            .map(|_| {
+                let u = (noise.next_uniform() + 1.0) / 2.0; // [0,1]
+                ((u * levels as f64) as usize).min(levels - 1)
+            })
+            .collect();
+        for (i, &l) in idx.iter().enumerate() {
+            chip.set_island_dvfs(IslandId(i), l);
+        }
+        // First interval absorbs the transition; measure the second.
+        chip.step_pic();
+        let snap = chip.step_pic();
+        let p: Vec<f64> = snap
+            .islands
+            .iter()
+            .map(|s| island_p_norm(&chip, s.power.value()))
+            .collect();
+        if let Some(prev) = &prev_p {
+            for i in 0..islands {
+                let d = f_norm(cmp, idx[i]) - f_norm(cmp, prev_idx[i]);
+                if d.abs() > 1e-9 {
+                    samples.push((d, p[i] - prev[i]));
+                }
+            }
+        }
+        prev_p = Some(p);
+        prev_idx = idx;
+    }
+    fit_gain_through_origin(&samples).expect("identification needs varied frequencies")
+}
+
+/// The paper's identification protocol: fit `a` for every PARSEC benchmark
+/// except bodytrack and average.
+pub fn identify_gain_paper(cmp: &CmpConfig, seed: u64, rounds: usize) -> f64 {
+    let suite: Vec<BenchmarkProfile> = parsec::all()
+        .into_iter()
+        .filter(|p| p.short != "btrack")
+        .collect();
+    let sum: f64 = suite
+        .iter()
+        .enumerate()
+        .map(|(k, p)| identify_gain(cmp, p, seed.wrapping_add(k as u64), rounds))
+        .sum();
+    sum / suite.len() as f64
+}
+
+/// The Fig. 5 validation run: bodytrack on all islands, white-noise DVFS,
+/// one-step model prediction vs actual power.
+#[derive(Debug, Clone)]
+pub struct ModelValidation {
+    /// Actual normalized island-0 power per sample.
+    pub actual: Vec<f64>,
+    /// Model-predicted normalized power per sample.
+    pub predicted: Vec<f64>,
+    /// Mean |predicted − actual| / actual.
+    pub mean_relative_error: f64,
+}
+
+/// Runs the validation experiment with plant gain `a`.
+pub fn validate_model(cmp: &CmpConfig, gain: f64, seed: u64, rounds: usize) -> ModelValidation {
+    let profile = parsec::bodytrack();
+    let mut chip = homogeneous_chip(cmp, &profile);
+    let mut noise = WhiteNoise::new(seed, 1.0);
+    let levels = cmp.dvfs.len();
+    let mut actual = Vec::with_capacity(rounds);
+    let mut predicted = Vec::with_capacity(rounds);
+    let mut prev_idx = levels - 1;
+    let mut prev_p: Option<f64> = None;
+    for _ in 0..rounds {
+        let u = (noise.next_uniform() + 1.0) / 2.0;
+        let idx = ((u * levels as f64) as usize).min(levels - 1);
+        for i in 0..cmp.islands() {
+            chip.set_island_dvfs(IslandId(i), idx);
+        }
+        chip.step_pic();
+        let snap = chip.step_pic();
+        let p = island_p_norm(&chip, snap.islands[0].power.value());
+        if let Some(pp) = prev_p {
+            let d = f_norm(cmp, idx) - f_norm(cmp, prev_idx);
+            actual.push(p);
+            predicted.push(pp + gain * d);
+        }
+        prev_p = Some(p);
+        prev_idx = idx;
+    }
+    let mean_relative_error = actual
+        .iter()
+        .zip(&predicted)
+        .map(|(a, m)| ((m - a) / a).abs())
+        .sum::<f64>()
+        / actual.len().max(1) as f64;
+    ModelValidation {
+        actual,
+        predicted,
+        mean_relative_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp() -> CmpConfig {
+        CmpConfig::paper_default()
+    }
+
+    #[test]
+    fn identified_gain_is_in_the_papers_ballpark() {
+        // The paper reports a = 0.79 for its platform. Our power model is
+        // calibrated similarly, so the identified normalized gain should
+        // land in the same neighbourhood.
+        let a = identify_gain(&cmp(), &parsec::blackscholes(), 42, 60);
+        assert!(
+            (0.4..1.2).contains(&a),
+            "identified gain {a} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn gain_identification_is_deterministic() {
+        let a = identify_gain(&cmp(), &parsec::x264(), 7, 40);
+        let b = identify_gain(&cmp(), &parsec::x264(), 7, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn leave_one_out_average_is_similar_to_individual_fits() {
+        let avg = identify_gain_paper(&cmp(), 11, 30);
+        assert!((0.4..1.2).contains(&avg), "suite average {avg}");
+    }
+
+    #[test]
+    fn model_validation_error_is_small() {
+        // Fig. 5: "our system model is quite accurate with an average error
+        // well within 10 %" (the paper says within ~1 % on their stack; the
+        // synthetic substrate carries more phase noise).
+        let a = identify_gain_paper(&cmp(), 3, 30);
+        let v = validate_model(&cmp(), a, 5, 80);
+        assert!(
+            v.mean_relative_error < 0.10,
+            "one-step prediction error {}",
+            v.mean_relative_error
+        );
+        assert_eq!(v.actual.len(), v.predicted.len());
+        assert!(!v.actual.is_empty());
+    }
+
+    #[test]
+    fn wrong_gain_predicts_worse() {
+        let good = validate_model(&cmp(), 0.79, 5, 80);
+        let bad = validate_model(&cmp(), 3.0, 5, 80);
+        assert!(bad.mean_relative_error > good.mean_relative_error);
+    }
+}

@@ -1,0 +1,215 @@
+//! Energy-aware provisioning with a minimum performance guarantee.
+//!
+//! §II-C lists this among the policies the decoupled architecture makes
+//! feasible but does not evaluate: "power provisioning for reducing energy
+//! consumption by providing a minimum guarantee on the performance". This
+//! module implements it: every island must retain at least
+//! `guarantee` (e.g. 90 %) of its *reference throughput* — the BIPS it
+//! achieves unthrottled — and subject to that constraint the policy shaves
+//! every watt it can.
+//!
+//! Mechanism per GPM interval and island:
+//!
+//! * maintain a decayed peak of observed BIPS as the reference,
+//! * if current BIPS is above the guaranteed floor with margin, step the
+//!   allocation down (save energy);
+//! * if it has fallen to (or under) the floor, step the allocation back up
+//!   (restore the guarantee);
+//! * step sizes are asymmetric — restoring is faster than saving — so
+//!   guarantee violations are short-lived.
+
+use crate::gpm::{IslandFeedback, ProvisioningPolicy};
+use cpm_units::Watts;
+
+/// Decay of the reference-BIPS peak per GPM interval. Very slow: the
+/// reference must survive long throttled stretches (during which observed
+/// BIPS says nothing about the unthrottled capability) while still
+/// tracking a genuine long-term demand drop. At 5 ms GPM intervals this
+/// half-life is ≈ 35 s of simulated time.
+const REFERENCE_DECAY: f64 = 0.99999;
+/// Downward (energy-saving) step, fraction of current allocation.
+const SAVE_STEP: f64 = 0.03;
+/// Upward (guarantee-restoring) step, fraction of current allocation.
+const RESTORE_STEP: f64 = 0.12;
+/// Hysteresis band above the floor within which the allocation holds.
+const HOLD_BAND: f64 = 0.02;
+
+/// Per-island controller state.
+#[derive(Debug, Clone, Default)]
+struct IslandState {
+    /// Decayed peak of observed BIPS — the unthrottled reference.
+    reference_bips: f64,
+    /// Current allocation (watts); 0 until the first feedback arrives.
+    alloc: f64,
+}
+
+/// The minimum-performance-guarantee energy saver.
+#[derive(Debug, Clone)]
+pub struct EnergyAware {
+    /// Fraction of reference throughput each island is guaranteed.
+    guarantee: f64,
+    state: Vec<IslandState>,
+}
+
+impl EnergyAware {
+    /// Creates the policy with a performance guarantee in `(0, 1)`
+    /// (e.g. `0.9` = every island keeps ≥ 90 % of its unthrottled BIPS).
+    pub fn new(guarantee: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&guarantee),
+            "guarantee must be a fraction in (0, 1)"
+        );
+        Self {
+            guarantee,
+            state: Vec::new(),
+        }
+    }
+
+    /// The configured guarantee fraction.
+    pub fn guarantee(&self) -> f64 {
+        self.guarantee
+    }
+
+    /// Current per-island reference BIPS (for inspection/tests).
+    pub fn references(&self) -> Vec<f64> {
+        self.state.iter().map(|s| s.reference_bips).collect()
+    }
+}
+
+impl ProvisioningPolicy for EnergyAware {
+    fn name(&self) -> &'static str {
+        "energy-aware"
+    }
+
+    fn provision(&mut self, budget: Watts, feedback: &[IslandFeedback]) -> Vec<Watts> {
+        let n = feedback.len();
+        if self.state.len() != n {
+            self.state = vec![IslandState::default(); n];
+        }
+        feedback
+            .iter()
+            .zip(self.state.iter_mut())
+            .map(|(fb, st)| {
+                st.reference_bips = (st.reference_bips * REFERENCE_DECAY).max(fb.bips);
+                if st.alloc <= 0.0 {
+                    // Bootstrap from what the island actually drew.
+                    st.alloc = fb.actual_power.value().max(1e-3);
+                }
+                let floor = st.reference_bips * self.guarantee;
+                if fb.bips < floor {
+                    st.alloc *= 1.0 + RESTORE_STEP;
+                } else if fb.bips > floor * (1.0 + HOLD_BAND) {
+                    st.alloc *= 1.0 - SAVE_STEP;
+                }
+                // Never ask for more than the whole budget for one island.
+                st.alloc = st.alloc.min(budget.value());
+                Watts::new(st.alloc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_units::{IslandId, Ratio};
+
+    fn fb(i: usize, power: f64, bips: f64) -> IslandFeedback {
+        IslandFeedback {
+            island: IslandId(i),
+            allocated: Watts::new(power),
+            actual_power: Watts::new(power),
+            bips,
+            utilization: Ratio::new(0.7),
+            epi: None,
+            peak_temperature: 60.0,
+        }
+    }
+
+    /// A toy island: BIPS responds as (P/P_full)^0.45 · B_full.
+    fn island_bips(p: f64, p_full: f64, b_full: f64) -> f64 {
+        b_full * (p / p_full).powf(0.45)
+    }
+
+    #[test]
+    fn saves_power_until_the_guarantee_binds() {
+        let mut policy = EnergyAware::new(0.90);
+        let budget = Watts::new(40.0);
+        let (p_full, b_full) = (20.0, 2.0);
+        let mut p = p_full;
+        let mut min_bips: f64 = f64::INFINITY;
+        let mut final_bips = 0.0;
+        for _ in 0..200 {
+            let b = island_bips(p, p_full, b_full);
+            min_bips = min_bips.min(b);
+            final_bips = b;
+            let alloc = policy.provision(budget, &[fb(0, p, b)]);
+            p = alloc[0].value().min(p_full); // the island can't use more
+        }
+        // Power was saved…
+        assert!(p < 0.95 * p_full, "allocation should have dropped: {p}");
+        // …but the guarantee held (steady state within a small band under
+        // the 90 % floor; transients may dip slightly below).
+        assert!(
+            final_bips >= 0.88 * b_full,
+            "steady BIPS {final_bips} under the guarantee"
+        );
+        assert!(
+            min_bips >= 0.85 * b_full,
+            "transient dip too deep: {min_bips}"
+        );
+    }
+
+    #[test]
+    fn restores_quickly_after_a_violation() {
+        let mut policy = EnergyAware::new(0.90);
+        let budget = Watts::new(40.0);
+        // Prime the reference at full throughput.
+        policy.provision(budget, &[fb(0, 20.0, 2.0)]);
+        // Simulate a deep throttle: BIPS collapses to 60 % of reference.
+        let mut p = 8.0;
+        let mut rounds = 0;
+        loop {
+            let b = island_bips(p, 20.0, 2.0);
+            if b >= 0.9 * 2.0 || rounds > 50 {
+                break;
+            }
+            let alloc = policy.provision(budget, &[fb(0, p, b)]);
+            p = alloc[0].value().min(20.0);
+            rounds += 1;
+        }
+        assert!(rounds <= 12, "guarantee restored in {rounds} rounds");
+    }
+
+    #[test]
+    fn reference_survives_throttled_stretches() {
+        let mut policy = EnergyAware::new(0.90);
+        let budget = Watts::new(40.0);
+        policy.provision(budget, &[fb(0, 20.0, 2.0)]);
+        for _ in 0..100 {
+            policy.provision(budget, &[fb(0, 10.0, 1.4)]);
+        }
+        let reference = policy.references()[0];
+        assert!(
+            reference > 1.8,
+            "reference {reference} must not collapse to the throttled level"
+        );
+    }
+
+    #[test]
+    fn independent_islands() {
+        let mut policy = EnergyAware::new(0.90);
+        let budget = Watts::new(60.0);
+        // Island 0 over-performs (can save); island 1 sits below its floor.
+        policy.provision(budget, &[fb(0, 20.0, 2.0), fb(1, 20.0, 2.0)]);
+        let a = policy.provision(budget, &[fb(0, 20.0, 2.0), fb(1, 20.0, 1.2)]);
+        assert!(a[0].value() < 20.0, "saver shrinks: {a:?}");
+        assert!(a[1].value() > 20.0, "violator grows: {a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in (0, 1)")]
+    fn guarantee_must_be_fractional() {
+        EnergyAware::new(1.5);
+    }
+}

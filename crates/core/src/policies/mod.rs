@@ -1,0 +1,18 @@
+//! The GPM provisioning policies evaluated by the paper.
+//!
+//! * [`performance`] — maximize chip BIPS within the budget (Eqs. 1–6),
+//! * [`thermal`] — avoid hotspots via spatio-temporal allocation
+//!   constraints (§IV-A),
+//! * [`variation`] — minimize power/throughput under intra-die leakage
+//!   variation via greedy exploration (§IV-B),
+//! * [`energy`] — minimize energy under a per-island minimum performance
+//!   guarantee (named feasible in §II-C, implemented here as an
+//!   extension),
+//! * [`qos`] — strict-priority / weighted-share QoS provisioning (also
+//!   named feasible in §II-C).
+
+pub mod energy;
+pub mod performance;
+pub mod qos;
+pub mod thermal;
+pub mod variation;

@@ -1,0 +1,252 @@
+//! QoS-aware provisioning: strict priority tiers with weighted sharing.
+//!
+//! §II-C names "QoS provisioning" among the policies the decoupled
+//! GPM/PIC architecture makes feasible; this module implements the
+//! classic form. Every island carries a [`QosClass`]:
+//!
+//! * islands are served in **descending priority order** — a tier receives
+//!   power only after every higher tier's demand is met,
+//! * within a tier, power is split **proportionally to weight**, capped at
+//!   each island's observed demand (decayed peak of actual power, plus
+//!   headroom),
+//! * leftover budget cascades down; whatever the lowest tier cannot use is
+//!   stranded (the GPM never pads).
+//!
+//! The result: when the budget tightens, best-effort islands brown out
+//! first and latency-critical islands keep their full allocation until the
+//! budget can no longer cover even them.
+
+use crate::gpm::{IslandFeedback, ProvisioningPolicy};
+use cpm_units::Watts;
+
+/// Per-island service class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosClass {
+    /// Higher = served earlier. Islands of equal priority share a tier.
+    pub priority: u8,
+    /// Relative share within the tier (must be positive).
+    pub weight: f64,
+}
+
+impl QosClass {
+    /// A latency-critical class (highest priority, unit weight).
+    pub const CRITICAL: Self = Self {
+        priority: 2,
+        weight: 1.0,
+    };
+    /// A standard class.
+    pub const STANDARD: Self = Self {
+        priority: 1,
+        weight: 1.0,
+    };
+    /// A best-effort class (served last).
+    pub const BEST_EFFORT: Self = Self {
+        priority: 0,
+        weight: 1.0,
+    };
+}
+
+/// Decay of the per-island demand peak per GPM interval.
+const DEMAND_DECAY: f64 = 0.99;
+/// Headroom over the demand peak an island may be allocated.
+const DEMAND_HEADROOM: f64 = 1.15;
+
+/// The priority/weight QoS policy.
+#[derive(Debug, Clone)]
+pub struct QosAware {
+    classes: Vec<QosClass>,
+    demand_peak: Vec<f64>,
+}
+
+impl QosAware {
+    /// Creates the policy with one class per island (island order).
+    pub fn new(classes: Vec<QosClass>) -> Self {
+        assert!(!classes.is_empty(), "need at least one island class");
+        assert!(
+            classes
+                .iter()
+                .all(|c| c.weight > 0.0 && c.weight.is_finite()),
+            "weights must be positive and finite"
+        );
+        let n = classes.len();
+        Self {
+            classes,
+            demand_peak: vec![0.0; n],
+        }
+    }
+
+    /// The configured classes.
+    pub fn classes(&self) -> &[QosClass] {
+        &self.classes
+    }
+}
+
+impl ProvisioningPolicy for QosAware {
+    fn name(&self) -> &'static str {
+        "qos-aware"
+    }
+
+    fn provision(&mut self, budget: Watts, feedback: &[IslandFeedback]) -> Vec<Watts> {
+        assert_eq!(
+            feedback.len(),
+            self.classes.len(),
+            "one QoS class per island required"
+        );
+        // Track demand.
+        for (peak, fb) in self.demand_peak.iter_mut().zip(feedback) {
+            *peak = (*peak * DEMAND_DECAY).max(fb.actual_power.value());
+        }
+        let caps: Vec<f64> = self
+            .demand_peak
+            .iter()
+            .map(|&d| {
+                if d > 0.0 {
+                    d * DEMAND_HEADROOM
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+
+        let mut alloc = vec![0.0f64; feedback.len()];
+        let mut remaining = budget.value();
+
+        // Distinct priorities, highest first.
+        let mut priorities: Vec<u8> = self.classes.iter().map(|c| c.priority).collect();
+        priorities.sort_unstable_by(|a, b| b.cmp(a));
+        priorities.dedup();
+
+        for prio in priorities {
+            if remaining <= 1e-12 {
+                break;
+            }
+            let tier: Vec<usize> = (0..self.classes.len())
+                .filter(|&i| self.classes[i].priority == prio)
+                .collect();
+            // Weighted water-filling within the tier, honoring demand caps:
+            // repeat until no island in the tier hits its cap mid-round.
+            let mut open: Vec<usize> = tier.clone();
+            while !open.is_empty() && remaining > 1e-12 {
+                let weight_sum: f64 = open.iter().map(|&i| self.classes[i].weight).sum();
+                let mut capped = Vec::new();
+                let mut spent = 0.0;
+                for &i in &open {
+                    let fair = remaining * self.classes[i].weight / weight_sum;
+                    let room = caps[i] - alloc[i];
+                    if fair >= room {
+                        alloc[i] += room;
+                        spent += room;
+                        capped.push(i);
+                    } else {
+                        alloc[i] += fair;
+                        spent += fair;
+                    }
+                }
+                remaining -= spent;
+                if capped.is_empty() {
+                    break; // everyone took their fair share — tier done
+                }
+                open.retain(|i| !capped.contains(i));
+            }
+        }
+        alloc.into_iter().map(Watts::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_units::{IslandId, Ratio};
+
+    fn fb(i: usize, actual: f64) -> IslandFeedback {
+        IslandFeedback {
+            island: IslandId(i),
+            allocated: Watts::new(actual),
+            actual_power: Watts::new(actual),
+            bips: 1.0,
+            utilization: Ratio::new(0.7),
+            epi: None,
+            peak_temperature: 60.0,
+        }
+    }
+
+    #[test]
+    fn critical_tier_is_served_first_under_scarcity() {
+        let mut p = QosAware::new(vec![QosClass::CRITICAL, QosClass::BEST_EFFORT]);
+        // Both islands demonstrated ~20 W demand; only 24 W to give.
+        p.provision(Watts::new(60.0), &[fb(0, 20.0), fb(1, 20.0)]);
+        let a = p.provision(Watts::new(24.0), &[fb(0, 20.0), fb(1, 20.0)]);
+        // Critical gets its full capped demand (23 W), best-effort scraps.
+        assert!(a[0].value() > 20.0, "critical first: {a:?}");
+        assert!(a[1].value() < 2.0, "best-effort browns out: {a:?}");
+    }
+
+    #[test]
+    fn surplus_cascades_down_the_tiers() {
+        let mut p = QosAware::new(vec![QosClass::CRITICAL, QosClass::BEST_EFFORT]);
+        p.provision(Watts::new(60.0), &[fb(0, 10.0), fb(1, 20.0)]);
+        let a = p.provision(Watts::new(40.0), &[fb(0, 10.0), fb(1, 20.0)]);
+        // Critical caps at 11.5 W (demand × headroom); the rest flows down.
+        assert!((a[0].value() - 11.5).abs() < 0.2, "{a:?}");
+        assert!(a[1].value() > 20.0, "surplus reaches best-effort: {a:?}");
+    }
+
+    #[test]
+    fn weights_split_within_a_tier() {
+        let heavy = QosClass {
+            priority: 1,
+            weight: 3.0,
+        };
+        let light = QosClass {
+            priority: 1,
+            weight: 1.0,
+        };
+        let mut p = QosAware::new(vec![heavy, light]);
+        // Huge demands so caps don't bind; 40 W splits 3:1.
+        p.provision(Watts::new(60.0), &[fb(0, 100.0), fb(1, 100.0)]);
+        let a = p.provision(Watts::new(40.0), &[fb(0, 100.0), fb(1, 100.0)]);
+        assert!((a[0].value() - 30.0).abs() < 1e-6, "{a:?}");
+        assert!((a[1].value() - 10.0).abs() < 1e-6, "{a:?}");
+    }
+
+    #[test]
+    fn total_never_exceeds_budget() {
+        let mut p = QosAware::new(vec![
+            QosClass::CRITICAL,
+            QosClass::STANDARD,
+            QosClass::BEST_EFFORT,
+        ]);
+        for round in 0..10 {
+            let budget = Watts::new(20.0 + 5.0 * round as f64);
+            let a = p.provision(budget, &[fb(0, 15.0), fb(1, 12.0), fb(2, 18.0)]);
+            let total: f64 = a.iter().map(|w| w.value()).sum();
+            assert!(total <= budget.value() + 1e-9, "round {round}: {total}");
+        }
+    }
+
+    #[test]
+    fn demand_caps_strand_unusable_budget() {
+        let mut p = QosAware::new(vec![QosClass::STANDARD, QosClass::STANDARD]);
+        p.provision(Watts::new(60.0), &[fb(0, 5.0), fb(1, 5.0)]);
+        let a = p.provision(Watts::new(60.0), &[fb(0, 5.0), fb(1, 5.0)]);
+        let total: f64 = a.iter().map(|w| w.value()).sum();
+        // Both cap at 5.75 W; ~48 W deliberately stranded.
+        assert!(total < 12.0, "caps must bind: {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one QoS class per island")]
+    fn class_count_must_match() {
+        QosAware::new(vec![QosClass::STANDARD])
+            .provision(Watts::new(10.0), &[fb(0, 5.0), fb(1, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_weight() {
+        QosAware::new(vec![QosClass {
+            priority: 0,
+            weight: 0.0,
+        }]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The variation-aware provisioning policy (§IV-B).
+//!
+//! Under intra-die process variation, islands leak differently; running
+//! leaky islands at high V/F wastes power. The paper adapts the greedy
+//! hill-climbing search of Magklis et al. (as extended by Herbert et al.):
+//! each island independently explores its power allocation to minimize
+//! **energy per (non-spin) instruction**:
+//!
+//! * if EPI improved since the last interval, keep moving the allocation in
+//!   the same direction;
+//! * if EPI degraded, the optimum was overshot: reverse direction, *hold*
+//!   at the suspected optimum for a fixed number of intervals (the paper
+//!   holds for 10 PIC intervals), then resume exploring.
+//!
+//! The net effect is that leakier islands settle at lower allocations
+//! (their EPI curve bottoms out earlier) — "we essentially attempt to
+//! operate the more leaky islands at lower V/F levels and less leaky
+//! islands at higher V/F levels".
+
+use crate::gpm::{IslandFeedback, ProvisioningPolicy};
+use cpm_units::Watts;
+
+/// Per-island explorer state.
+#[derive(Debug, Clone)]
+struct Explorer {
+    /// Current allocation as a fraction of the equal share.
+    level: f64,
+    /// Exploration direction: +1 (more power) or −1 (less).
+    direction: f64,
+    /// Remaining hold intervals after a reversal.
+    hold: usize,
+    /// EPI observed for the previous interval, joules/instruction.
+    last_epi: Option<f64>,
+}
+
+impl Explorer {
+    fn new() -> Self {
+        Self {
+            level: 1.0,
+            direction: -1.0, // first move: try saving power
+            hold: 0,
+            last_epi: None,
+        }
+    }
+}
+
+/// The §IV-B greedy EPI-minimizing policy.
+#[derive(Debug, Clone)]
+pub struct VariationAware {
+    explorers: Vec<Explorer>,
+    /// Exploration step as a fraction of the equal share.
+    step: f64,
+    /// Hold length after a reversal, in GPM intervals.
+    hold_intervals: usize,
+    /// Allocation-level bounds as fractions of the equal share.
+    level_range: (f64, f64),
+}
+
+impl VariationAware {
+    /// The paper's setting: hold for 10 PIC intervals = 1 GPM interval at
+    /// default timing; we express the hold directly in GPM invocations.
+    /// The step is small enough that the EPI signal (noisy interval to
+    /// interval) dominates exploration noise.
+    pub fn new() -> Self {
+        Self::with_parameters(0.05, 2, (0.7, 1.3))
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// * `step` — exploration step (fraction of the equal share),
+    /// * `hold_intervals` — GPM invocations to hold after a reversal,
+    /// * `level_range` — clamp on the allocation level.
+    pub fn with_parameters(step: f64, hold_intervals: usize, level_range: (f64, f64)) -> Self {
+        assert!(step > 0.0 && step < 1.0);
+        assert!(level_range.0 > 0.0 && level_range.1 > level_range.0);
+        Self {
+            explorers: Vec::new(),
+            step,
+            hold_intervals,
+            level_range,
+        }
+    }
+
+    /// Current allocation levels (fractions of equal share), island order.
+    pub fn levels(&self) -> Vec<f64> {
+        self.explorers.iter().map(|e| e.level).collect()
+    }
+}
+
+impl Default for VariationAware {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProvisioningPolicy for VariationAware {
+    fn name(&self) -> &'static str {
+        "variation-aware"
+    }
+
+    fn provision(&mut self, budget: Watts, feedback: &[IslandFeedback]) -> Vec<Watts> {
+        let n = feedback.len();
+        if self.explorers.len() != n {
+            self.explorers = vec![Explorer::new(); n];
+        }
+        let equal_share = budget.value() / n as f64;
+        for (e, fb) in self.explorers.iter_mut().zip(feedback) {
+            let epi = fb.epi.map(|j| j.value());
+            if e.hold > 0 {
+                e.hold -= 1;
+            } else if let (Some(now), Some(prev)) = (epi, e.last_epi) {
+                if now <= prev {
+                    // Improved (or flat): keep going.
+                    e.level += e.direction * self.step;
+                } else {
+                    // Overshot the optimum: back up and hold there.
+                    e.direction = -e.direction;
+                    e.level += e.direction * self.step;
+                    e.hold = self.hold_intervals;
+                }
+                e.level = e.level.clamp(self.level_range.0, self.level_range.1);
+            } else if epi.is_some() {
+                // First EPI observation: take the initial step.
+                e.level = (e.level + e.direction * self.step)
+                    .clamp(self.level_range.0, self.level_range.1);
+            }
+            if epi.is_some() {
+                e.last_epi = epi;
+            }
+        }
+        self.explorers
+            .iter()
+            .map(|e| Watts::new(equal_share * e.level))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_units::{IslandId, Joules, Ratio};
+
+    fn fb(i: usize, epi_nj: Option<f64>) -> IslandFeedback {
+        IslandFeedback {
+            island: IslandId(i),
+            allocated: Watts::new(20.0),
+            actual_power: Watts::new(18.0),
+            bips: 2.0,
+            utilization: Ratio::new(0.7),
+            epi: epi_nj.map(|n| Joules::new(n * 1e-9)),
+            peak_temperature: 60.0,
+        }
+    }
+
+    #[test]
+    fn no_epi_keeps_equal_split() {
+        let mut p = VariationAware::new();
+        let a = p.provision(Watts::new(80.0), &[fb(0, None), fb(1, None)]);
+        assert!((a[0].value() - 40.0).abs() < 1e-9);
+        assert!((a[1].value() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improving_epi_continues_downward() {
+        let mut p = VariationAware::with_parameters(0.1, 1, (0.5, 1.5));
+        let b = Watts::new(80.0);
+        // EPI keeps improving as power falls → level keeps dropping.
+        p.provision(b, &[fb(0, Some(30.0)), fb(1, Some(30.0))]);
+        p.provision(b, &[fb(0, Some(28.0)), fb(1, Some(28.0))]);
+        let a = p.provision(b, &[fb(0, Some(26.0)), fb(1, Some(26.0))]);
+        assert!(
+            a[0].value() < 40.0 * 0.85,
+            "level should have fallen: {a:?}"
+        );
+    }
+
+    #[test]
+    fn degrading_epi_reverses_and_holds() {
+        let mut p = VariationAware::with_parameters(0.1, 3, (0.5, 1.5));
+        let b = Watts::new(80.0);
+        p.provision(b, &[fb(0, Some(30.0))]); // first obs, step down → 0.9
+        p.provision(b, &[fb(0, Some(25.0))]); // improved, down → 0.8
+        let after_reverse = p.provision(b, &[fb(0, Some(40.0))]); // worse → up → 0.9, hold 3
+        assert!((after_reverse[0].value() - 80.0 * 0.9).abs() < 1e-9);
+        // During the hold the level must not move even with changing EPI.
+        for _ in 0..3 {
+            let a = p.provision(b, &[fb(0, Some(35.0))]);
+            assert!((a[0].value() - 80.0 * 0.9).abs() < 1e-9, "hold violated");
+        }
+        // After the hold, exploration resumes.
+        let resumed = p.provision(b, &[fb(0, Some(20.0))]);
+        assert!((resumed[0].value() - 80.0 * 0.9).abs() > 1e-9);
+    }
+
+    #[test]
+    fn levels_stay_clamped() {
+        let mut p = VariationAware::with_parameters(0.2, 0, (0.5, 1.5));
+        let b = Watts::new(80.0);
+        // Monotonically improving EPI forever → slams into the lower clamp.
+        let mut epi = 100.0;
+        for _ in 0..30 {
+            p.provision(b, &[fb(0, Some(epi))]);
+            epi *= 0.95;
+        }
+        let levels = p.levels();
+        assert!((levels[0] - 0.5).abs() < 1e-9, "clamped at 0.5: {levels:?}");
+    }
+
+    #[test]
+    fn islands_explore_independently() {
+        let mut p = VariationAware::with_parameters(0.1, 0, (0.5, 1.5));
+        let b = Watts::new(80.0);
+        // Island 0's EPI improves with less power; island 1's degrades
+        // immediately (its optimum is at high power).
+        p.provision(b, &[fb(0, Some(30.0)), fb(1, Some(30.0))]);
+        p.provision(b, &[fb(0, Some(25.0)), fb(1, Some(45.0))]);
+        let levels = p.levels();
+        assert!(levels[0] < 1.0, "island 0 descending: {levels:?}");
+        assert!(levels[1] >= 1.0, "island 1 reversed upward: {levels:?}");
+    }
+
+    #[test]
+    fn total_never_exceeds_budget_times_max_level() {
+        let mut p = VariationAware::new();
+        let b = Watts::new(80.0);
+        for k in 0..20 {
+            let a = p.provision(
+                b,
+                &[fb(0, Some(30.0 - k as f64)), fb(1, Some(30.0 + k as f64))],
+            );
+            let total: f64 = a.iter().map(|w| w.value()).sum();
+            // The GPM's normalize pass enforces the hard budget; the raw
+            // policy keeps totals within the level clamp.
+            assert!(total <= b.value() * 1.5 + 1e-9);
+        }
+    }
+}

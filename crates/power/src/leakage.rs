@@ -1,0 +1,151 @@
+//! HotLeakage-style static (leakage) power.
+//!
+//! HotLeakage computes subthreshold leakage as a strong exponential function
+//! of temperature and supply voltage. We use the standard reduced form
+//!
+//! ```text
+//! P_leak(V, T) = m · P₀ · (V/V₀) · exp(β_V·(V − V₀)) · (T/T₀)² · exp(β_T·(T − T₀))
+//! ```
+//!
+//! anchored at the nominal point `(V₀, T₀)`, where `m` is the per-island
+//! process-variation multiplier of §IV-B. The coefficients are chosen so
+//! leakage is ≈ 20 % of total core power at the 90 nm nominal point and
+//! roughly doubles over a 40 °C rise — both standard figures for the
+//! technology node the paper models.
+
+use cpm_units::{Celsius, Volts, Watts};
+
+/// Static-power model anchored at a nominal voltage/temperature point.
+#[derive(Debug, Clone)]
+pub struct LeakageModel {
+    /// Leakage at `(v_nominal, t_nominal)` with multiplier 1.
+    p_nominal: Watts,
+    /// Anchor voltage.
+    v_nominal: Volts,
+    /// Anchor temperature.
+    t_nominal: Celsius,
+    /// Voltage sensitivity (1/V) — DIBL-driven exponential dependence.
+    beta_v: f64,
+    /// Temperature sensitivity (1/°C) in the exponential term.
+    beta_t: f64,
+}
+
+impl LeakageModel {
+    /// Die temperature used when quoting "maximum chip power" (hot, fully
+    /// loaded die).
+    pub const HOT_REFERENCE: Celsius = Celsius::new(85.0);
+
+    /// The calibration used by the reproduction: 1.8 W at 1.34 V / 60 °C,
+    /// doubling roughly every 40 °C, with a moderate DIBL slope.
+    pub fn paper_default() -> Self {
+        Self::new(
+            Watts::new(1.8),
+            Volts::new(1.34),
+            Celsius::new(60.0),
+            1.2,
+            0.0125,
+        )
+    }
+
+    /// Creates a model anchored at `(v_nominal, t_nominal)`.
+    pub fn new(
+        p_nominal: Watts,
+        v_nominal: Volts,
+        t_nominal: Celsius,
+        beta_v: f64,
+        beta_t: f64,
+    ) -> Self {
+        assert!(p_nominal.value() > 0.0, "nominal leakage must be positive");
+        assert!(v_nominal.value() > 0.0);
+        Self {
+            p_nominal,
+            v_nominal,
+            t_nominal,
+            beta_v,
+            beta_t,
+        }
+    }
+
+    /// Leakage power at supply `v`, die temperature `t`, with
+    /// process-variation multiplier `multiplier` (1.0 = nominal silicon;
+    /// the paper's §IV-B islands use 1.2×, 1.5×, 2.0×).
+    pub fn power(&self, v: Volts, t: Celsius, multiplier: f64) -> Watts {
+        assert!(multiplier > 0.0, "variation multiplier must be positive");
+        let vr = v.value() / self.v_nominal.value();
+        let v_term = vr * ((v.value() - self.v_nominal.value()) * self.beta_v).exp();
+        // Temperature in Kelvin for the quadratic prefactor.
+        let tk = t.value() + 273.15;
+        let tk0 = self.t_nominal.value() + 273.15;
+        let t_term =
+            (tk / tk0).powi(2) * ((t.value() - self.t_nominal.value()) * self.beta_t).exp();
+        self.p_nominal * (multiplier * v_term * t_term)
+    }
+
+    /// The anchor (nominal) leakage value.
+    pub fn nominal_power(&self) -> Watts {
+        self.p_nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LeakageModel {
+        LeakageModel::paper_default()
+    }
+
+    #[test]
+    fn anchored_at_nominal_point() {
+        let m = model();
+        let p = m.power(Volts::new(1.34), Celsius::new(60.0), 1.0);
+        assert!((p.value() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roughly_doubles_over_40_degrees() {
+        let m = model();
+        let cold = m.power(Volts::new(1.34), Celsius::new(60.0), 1.0);
+        let hot = m.power(Volts::new(1.34), Celsius::new(100.0), 1.0);
+        let ratio = hot.value() / cold.value();
+        assert!(ratio > 1.7 && ratio < 2.3, "40°C ratio {ratio}");
+    }
+
+    #[test]
+    fn decreases_with_lower_voltage() {
+        let m = model();
+        let hi = m.power(Volts::new(1.34), Celsius::new(60.0), 1.0);
+        let lo = m.power(Volts::new(0.988), Celsius::new(60.0), 1.0);
+        assert!(lo < hi);
+        // DVFS down to the lowest point should cut leakage substantially
+        // (voltage ratio × exponential DIBL factor).
+        assert!(lo.value() / hi.value() < 0.55);
+    }
+
+    #[test]
+    fn multiplier_is_linear() {
+        let m = model();
+        let base = m.power(Volts::new(1.2), Celsius::new(70.0), 1.0);
+        let double = m.power(Volts::new(1.2), Celsius::new(70.0), 2.0);
+        assert!((double.value() - 2.0 * base.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_temperature() {
+        let m = model();
+        let mut prev = 0.0;
+        for t in (30..=110).step_by(10) {
+            let p = m
+                .power(Volts::new(1.1), Celsius::new(t as f64), 1.0)
+                .value();
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn rejects_non_positive_multiplier() {
+        model().power(Volts::new(1.0), Celsius::new(50.0), 0.0);
+    }
+}

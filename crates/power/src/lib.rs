@@ -1,0 +1,117 @@
+//! Power modeling substrate: everything the paper obtained from Wattch
+//! (dynamic power), HotLeakage (static power), and the Pentium-M datasheet
+//! (DVFS operating points), rebuilt as analytic models.
+//!
+//! * [`dvfs`] — discrete V/F operating points (8 pairs, 600 MHz–2.0 GHz)
+//!   with quantization and transition-overhead bookkeeping,
+//! * [`dynamic`] — activity-based per-unit dynamic power `Σ αᵤ·Cᵤ·V²·f`
+//!   with conditional clock gating (Wattch's cc3 style: idle units draw a
+//!   fixed floor fraction),
+//! * [`leakage`] — voltage- and temperature-sensitive static power with
+//!   process-variation multipliers (HotLeakage's role),
+//! * [`transducer`] — the PIC's sensor: an online linear regression from
+//!   observed CPU utilization to island power (`P = k₀·U + k₁`, paper
+//!   Fig. 6),
+//! * [`variation`] — per-island leakage variation maps (§IV-B),
+//! * [`energy`] — energy/EPI accounting used by the variation-aware policy.
+
+pub mod dvfs;
+pub mod dynamic;
+pub mod energy;
+pub mod leakage;
+pub mod transducer;
+pub mod variation;
+
+pub use dvfs::{DvfsTable, OperatingPoint};
+pub use dynamic::DynamicPowerModel;
+pub use energy::EnergyAccount;
+pub use leakage::LeakageModel;
+pub use transducer::UtilizationPowerTransducer;
+pub use variation::VariationMap;
+
+use cpm_units::{Celsius, Ratio, Watts};
+
+/// Complete per-core power model: dynamic + leakage.
+#[derive(Debug, Clone)]
+pub struct CorePowerModel {
+    /// Dynamic (switching) power component.
+    pub dynamic: DynamicPowerModel,
+    /// Static (leakage) power component.
+    pub leakage: LeakageModel,
+}
+
+impl CorePowerModel {
+    /// The calibration used throughout the reproduction: a 90 nm-class core
+    /// peaking at ≈ 9 W dynamic + ≈ 2.4 W leakage at the top operating
+    /// point, matching the paper's Table I technology point.
+    pub fn paper_default() -> Self {
+        Self {
+            dynamic: DynamicPowerModel::paper_default(),
+            leakage: LeakageModel::paper_default(),
+        }
+    }
+
+    /// Total core power at operating point `op`, with average activity
+    /// `activity`, die temperature `temp`, and leakage process-variation
+    /// multiplier `leak_mult`.
+    pub fn total_power(
+        &self,
+        op: OperatingPoint,
+        activity: Ratio,
+        temp: Celsius,
+        leak_mult: f64,
+    ) -> Watts {
+        self.dynamic.power(op, activity) + self.leakage.power(op.voltage, temp, leak_mult)
+    }
+
+    /// The maximum power this core can draw: top operating point, full
+    /// activity, hottest plausible die temperature, given variation
+    /// multiplier. This is the per-core contribution to the "maximum chip
+    /// power" basis in which the paper expresses all percentages.
+    pub fn max_power(&self, table: &DvfsTable, leak_mult: f64) -> Watts {
+        self.total_power(
+            table.max_point(),
+            Ratio::ONE,
+            LeakageModel::HOT_REFERENCE,
+            leak_mult,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_core_peaks_near_11_5_watts() {
+        let m = CorePowerModel::paper_default();
+        let p = m.max_power(&DvfsTable::pentium_m(), 1.0);
+        assert!(
+            p.value() > 10.0 && p.value() < 13.0,
+            "max core power {p} outside the calibrated 10–13 W band"
+        );
+    }
+
+    #[test]
+    fn power_monotone_in_activity_and_frequency() {
+        let m = CorePowerModel::paper_default();
+        let t = DvfsTable::pentium_m();
+        let temp = Celsius::new(60.0);
+        let lo = m.total_power(t.point(0), Ratio::new(0.4), temp, 1.0);
+        let hi_act = m.total_power(t.point(0), Ratio::new(0.9), temp, 1.0);
+        let hi_freq = m.total_power(t.point(5), Ratio::new(0.4), temp, 1.0);
+        assert!(hi_act > lo);
+        assert!(hi_freq > lo);
+    }
+
+    #[test]
+    fn variation_multiplier_only_scales_leakage() {
+        let m = CorePowerModel::paper_default();
+        let t = DvfsTable::pentium_m();
+        let temp = Celsius::new(60.0);
+        let base = m.total_power(t.point(3), Ratio::new(0.5), temp, 1.0);
+        let leaky = m.total_power(t.point(3), Ratio::new(0.5), temp, 2.0);
+        let leak = m.leakage.power(t.point(3).voltage, temp, 1.0);
+        assert!((leaky.value() - base.value() - leak.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,486 @@
+//! The full chip: cores, islands, power, and thermal state, advanced one
+//! control interval at a time.
+
+use crate::config::CmpConfig;
+use crate::core_model::CoreModel;
+use crate::island::IslandState;
+use cpm_power::variation::VariationMap;
+use cpm_thermal::ThermalGrid;
+use cpm_units::{Celsius, CoreId, IslandId, Ratio, Seconds, Watts};
+use cpm_workloads::WorkloadAssignment;
+
+/// Per-island observations for one interval — exactly the feedback the
+/// GPM and PICs consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandSnapshot {
+    /// Which island.
+    pub island: IslandId,
+    /// Average island power over the interval.
+    pub power: Watts,
+    /// Mean CPU utilization across the island's cores (busy fraction of the
+    /// interval at the *current* clock).
+    pub utilization: Ratio,
+    /// Capacity utilization: busy fraction scaled by `f / f_max` — the
+    /// OS-counter view of "how much of the core's maximum capability was
+    /// used". This is the observable the PIC's transducer regresses power
+    /// against (it correlates positively with power across DVFS points,
+    /// unlike the raw busy fraction).
+    pub capacity_utilization: Ratio,
+    /// Instructions retired by the island this interval.
+    pub instructions: f64,
+    /// Throughput in billions of instructions per second.
+    pub bips: f64,
+    /// Operating point in effect.
+    pub dvfs_index: usize,
+}
+
+/// Full-chip observations for one interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSnapshot {
+    /// Simulated time at the *end* of the interval.
+    pub time: Seconds,
+    /// Interval length.
+    pub dt: Seconds,
+    /// Per-island observations.
+    pub islands: Vec<IslandSnapshot>,
+    /// Per-core power draw (core-id order) — the thermal model's input.
+    pub core_powers: Vec<Watts>,
+    /// Per-core die temperature at the end of the interval.
+    pub temperatures: Vec<Celsius>,
+    /// Total chip power (Σ islands).
+    pub chip_power: Watts,
+    /// Total instructions retired this interval.
+    pub instructions: f64,
+    /// Aggregate DRAM traffic demand this interval, bytes/second.
+    pub memory_demand: f64,
+    /// The memory-contention (DRAM latency inflation) factor that was in
+    /// effect during this interval (1.0 = uncontended).
+    pub memory_contention: f64,
+}
+
+impl ChipSnapshot {
+    /// Chip throughput in BIPS this interval.
+    pub fn chip_bips(&self) -> f64 {
+        self.instructions / self.dt.value() / 1.0e9
+    }
+}
+
+/// The simulated CMP.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    config: CmpConfig,
+    cores: Vec<CoreModel>,
+    islands: Vec<IslandState>,
+    thermal: ThermalGrid,
+    variation: VariationMap,
+    time: Seconds,
+    max_power: Watts,
+    /// Memory-contention factor applied this interval (computed from the
+    /// previous interval's aggregate traffic — a one-interval lag, as a
+    /// real controller's congestion feedback would have).
+    mem_contention: f64,
+}
+
+impl Chip {
+    /// Builds a chip from a configuration and a workload assignment (which
+    /// must agree on topology), with uniform process variation.
+    pub fn new(config: CmpConfig, assignment: &WorkloadAssignment) -> Self {
+        let variation = VariationMap::uniform(config.islands());
+        Self::with_variation(config, assignment, variation)
+    }
+
+    /// Builds a chip with an explicit per-island leakage variation map.
+    pub fn with_variation(
+        config: CmpConfig,
+        assignment: &WorkloadAssignment,
+        variation: VariationMap,
+    ) -> Self {
+        config.validate();
+        assert_eq!(
+            assignment.cores(),
+            config.cores,
+            "workload assignment core count must match the chip"
+        );
+        assert_eq!(
+            assignment.cores_per_island(),
+            config.cores_per_island,
+            "workload assignment island width must match the chip"
+        );
+        assert_eq!(
+            variation.islands(),
+            config.islands(),
+            "variation map must cover every island"
+        );
+        let cores: Vec<CoreModel> = (0..config.cores)
+            .map(|c| CoreModel::new(assignment.profile(CoreId(c)).clone(), config.seed, c as u64))
+            .collect();
+        let top = config.dvfs.len() - 1;
+        let islands: Vec<IslandState> = (0..config.islands())
+            .map(|i| {
+                IslandState::new(
+                    IslandId(i),
+                    assignment.cores_of(IslandId(i)),
+                    top, // boot at the nominal (highest) operating point
+                )
+            })
+            .collect();
+        let thermal = ThermalGrid::new(config.floorplan(), config.thermal);
+        let max_power = Self::compute_max_power(&config, &variation);
+        Self {
+            config,
+            cores,
+            islands,
+            thermal,
+            variation,
+            time: Seconds::ZERO,
+            max_power,
+            mem_contention: 1.0,
+        }
+    }
+
+    fn compute_max_power(config: &CmpConfig, variation: &VariationMap) -> Watts {
+        (0..config.cores)
+            .map(|c| {
+                let island = IslandId(c / config.cores_per_island);
+                config
+                    .power
+                    .max_power(&config.dvfs, variation.multiplier(island))
+            })
+            .sum()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CmpConfig {
+        &self.config
+    }
+
+    /// Simulated time so far.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The basis for all "percent power" figures: every core at the top
+    /// operating point, fully active, at the hot reference temperature.
+    pub fn max_power(&self) -> Watts {
+        self.max_power
+    }
+
+    /// Converts an absolute power into percent-of-max-chip-power.
+    pub fn percent_of_max(&self, p: Watts) -> Ratio {
+        Ratio::new(p.value() / self.max_power.value())
+    }
+
+    /// Current operating point of an island.
+    pub fn island_dvfs(&self, island: IslandId) -> usize {
+        self.islands[island.index()].dvfs_index()
+    }
+
+    /// Requests an island operating-point change (takes effect immediately;
+    /// the transition freeze is charged to the next interval).
+    pub fn set_island_dvfs(&mut self, island: IslandId, idx: usize) {
+        self.islands[island.index()].set_dvfs_index(idx, &self.config.dvfs);
+    }
+
+    /// Total DVFS transitions performed by an island so far.
+    pub fn island_transitions(&self, island: IslandId) -> u64 {
+        self.islands[island.index()].transitions()
+    }
+
+    /// The per-island process-variation map.
+    pub fn variation(&self) -> &VariationMap {
+        &self.variation
+    }
+
+    /// Per-core die temperatures.
+    pub fn temperatures(&self) -> Vec<Celsius> {
+        self.thermal.temperatures()
+    }
+
+    /// The memory-contention factor currently in effect (≥ 1).
+    pub fn memory_contention(&self) -> f64 {
+        self.mem_contention
+    }
+
+    /// Advances the chip by one PIC interval and reports what happened.
+    pub fn step_pic(&mut self) -> ChipSnapshot {
+        self.step(self.config.pic_interval)
+    }
+
+    /// Advances the chip by an arbitrary interval `dt`.
+    pub fn step(&mut self, dt: Seconds) -> ChipSnapshot {
+        let n_cores = self.config.cores;
+        let mut core_powers = vec![Watts::ZERO; n_cores];
+        let mut island_snaps = Vec::with_capacity(self.islands.len());
+        let mut total_instructions = 0.0;
+        let mut total_dram_bytes = 0.0;
+        let contention = self.mem_contention;
+
+        for island in &mut self.islands {
+            let op = self.config.dvfs.point(island.dvfs_index());
+            let frozen = island.take_freeze(&self.config.dvfs, dt);
+            let leak_mult = self.variation.multiplier(island.id());
+            let mut power = Watts::ZERO;
+            let mut util_sum = 0.0;
+            let mut instructions = 0.0;
+            for &core_id in island.cores() {
+                let temp = self.thermal.temperature(core_id);
+                let stats = self.cores[core_id.index()].step_contended(
+                    op.frequency,
+                    dt,
+                    frozen,
+                    contention,
+                );
+                total_dram_bytes += stats.dram_bytes;
+                let p = self
+                    .config
+                    .power
+                    .total_power(op, stats.activity, temp, leak_mult);
+                core_powers[core_id.index()] = p;
+                power += p;
+                util_sum += stats.utilization.value();
+                instructions += stats.instructions;
+            }
+            let n = island.cores().len() as f64;
+            total_instructions += instructions;
+            let utilization = Ratio::new(util_sum / n);
+            let f_ratio = op.frequency / self.config.dvfs.max_point().frequency;
+            island_snaps.push(IslandSnapshot {
+                island: island.id(),
+                power,
+                utilization,
+                capacity_utilization: Ratio::new(utilization.value() * f_ratio),
+                instructions,
+                bips: instructions / dt.value() / 1.0e9,
+                dvfs_index: island.dvfs_index(),
+            });
+        }
+
+        self.thermal.step(&core_powers, dt);
+        self.time += dt;
+
+        // Next interval's contention from this interval's traffic, lightly
+        // smoothed so the factor does not chatter interval to interval.
+        let memory_demand = total_dram_bytes / dt.value();
+        if let Some(bw) = self.config.memory_bandwidth {
+            let raw = (memory_demand / bw).max(1.0);
+            self.mem_contention = 0.5 * self.mem_contention + 0.5 * raw;
+        }
+
+        let chip_power = island_snaps.iter().map(|s| s.power).sum();
+        ChipSnapshot {
+            time: self.time,
+            dt,
+            islands: island_snaps,
+            core_powers,
+            temperatures: self.thermal.temperatures(),
+            chip_power,
+            instructions: total_instructions,
+            memory_demand,
+            memory_contention: contention,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_workloads::{Mix, WorkloadAssignment};
+
+    fn chip() -> Chip {
+        Chip::new(
+            CmpConfig::paper_default(),
+            &WorkloadAssignment::paper_mix(Mix::Mix1, 8),
+        )
+    }
+
+    #[test]
+    fn boots_at_top_operating_point() {
+        let c = chip();
+        for i in 0..4 {
+            assert_eq!(c.island_dvfs(IslandId(i)), 7);
+        }
+    }
+
+    #[test]
+    fn max_power_is_plausible_for_8_cores() {
+        let c = chip();
+        let p = c.max_power().value();
+        assert!(p > 80.0 && p < 110.0, "8-core max power {p} W");
+    }
+
+    #[test]
+    fn snapshot_totals_are_consistent() {
+        let mut c = chip();
+        let s = c.step_pic();
+        let island_sum: Watts = s.islands.iter().map(|i| i.power).sum();
+        assert!((island_sum.value() - s.chip_power.value()).abs() < 1e-9);
+        let core_sum: Watts = s.core_powers.iter().copied().sum();
+        assert!((core_sum.value() - s.chip_power.value()).abs() < 1e-9);
+        let instr_sum: f64 = s.islands.iter().map(|i| i.instructions).sum();
+        assert!((instr_sum - s.instructions).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_speed_power_stays_below_max_basis() {
+        let mut c = chip();
+        for _ in 0..200 {
+            let s = c.step_pic();
+            assert!(
+                s.chip_power <= c.max_power(),
+                "power {} exceeded basis {}",
+                s.chip_power,
+                c.max_power()
+            );
+        }
+    }
+
+    #[test]
+    fn lowering_dvfs_reduces_power_and_throughput() {
+        let mut hi = chip();
+        let mut lo = chip();
+        for i in 0..4 {
+            lo.set_island_dvfs(IslandId(i), 0);
+        }
+        // Skip the transition interval, then compare steady state.
+        lo.step_pic();
+        hi.step_pic();
+        let mut p_hi = 0.0;
+        let mut p_lo = 0.0;
+        let mut i_hi = 0.0;
+        let mut i_lo = 0.0;
+        for _ in 0..50 {
+            let sh = hi.step_pic();
+            let sl = lo.step_pic();
+            p_hi += sh.chip_power.value();
+            p_lo += sl.chip_power.value();
+            i_hi += sh.instructions;
+            i_lo += sl.instructions;
+        }
+        assert!(p_lo < 0.5 * p_hi, "low V/F power {p_lo} vs {p_hi}");
+        assert!(i_lo < i_hi);
+        // But throughput falls less than power: the energy argument for DVFS.
+        assert!(i_lo / i_hi > p_lo / p_hi);
+    }
+
+    #[test]
+    fn dvfs_transition_freezes_cost_instructions() {
+        let mut steady = chip();
+        let mut switching = chip();
+        // Warm both up identically.
+        steady.step_pic();
+        switching.step_pic();
+        let mut i_steady = 0.0;
+        let mut i_switch = 0.0;
+        for k in 0..50 {
+            i_steady += steady.step_pic().instructions;
+            // Toggle between the top two points every interval.
+            switching.set_island_dvfs(IslandId(0), 6 + (k % 2));
+            i_switch += switching.step_pic().instructions;
+        }
+        assert!(i_switch < i_steady, "churn must cost throughput");
+        assert_eq!(switching.island_transitions(IslandId(0)), 50);
+    }
+
+    #[test]
+    fn temperatures_rise_under_load() {
+        let mut c = chip();
+        let ambient = c.temperatures()[0];
+        for _ in 0..400 {
+            c.step_pic();
+        }
+        for t in c.temperatures() {
+            assert!(t > ambient, "core should heat up: {t}");
+        }
+    }
+
+    #[test]
+    fn leaky_variation_increases_power() {
+        let cfg = CmpConfig::paper_default();
+        let asg = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
+        let mut uniform = Chip::new(cfg.clone(), &asg);
+        let mut leaky = Chip::with_variation(cfg, &asg, VariationMap::paper_four_island());
+        let pu: f64 = (0..20).map(|_| uniform.step_pic().chip_power.value()).sum();
+        let pl: f64 = (0..20).map(|_| leaky.step_pic().chip_power.value()).sum();
+        assert!(pl > pu, "leaky chip {pl} must draw more than uniform {pu}");
+        assert!(leaky.max_power() > uniform.max_power());
+    }
+
+    #[test]
+    fn percent_of_max_roundtrip() {
+        let c = chip();
+        let half = c.max_power() * 0.5;
+        assert!((c.percent_of_max(half).percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count must match")]
+    fn mismatched_assignment_rejected() {
+        Chip::new(
+            CmpConfig::with_topology(16, 4),
+            &WorkloadAssignment::paper_mix(Mix::Mix1, 8),
+        );
+    }
+
+    #[test]
+    fn memory_contention_is_idle_on_a_light_8_core_chip() {
+        let mut c = chip();
+        for _ in 0..50 {
+            c.step_pic();
+        }
+        assert!(
+            c.memory_contention() < 1.05,
+            "8 Mix-1 cores should not saturate 6.4 GB/s: {}",
+            c.memory_contention()
+        );
+    }
+
+    #[test]
+    fn memory_contention_binds_for_an_all_memory_chip() {
+        // 32 cores of native canneal at full speed overwhelm the
+        // controller; the contention factor must rise and throughput must
+        // fall relative to an infinite-bandwidth twin.
+        use cpm_workloads::{parsec, InputSet, WorkloadAssignment};
+        let profile = parsec::canneal().with_input(InputSet::Native);
+        let assignment = WorkloadAssignment::new(vec![profile; 32], 4);
+        let cfg = CmpConfig::with_topology(32, 4);
+        let mut ideal_cfg = cfg.clone();
+        ideal_cfg.memory_bandwidth = None;
+        let mut real = Chip::new(cfg, &assignment);
+        let mut ideal = Chip::new(ideal_cfg, &assignment);
+        let mut i_real = 0.0;
+        let mut i_ideal = 0.0;
+        for _ in 0..60 {
+            i_real += real.step_pic().instructions;
+            i_ideal += ideal.step_pic().instructions;
+        }
+        assert!(
+            real.memory_contention() > 1.1,
+            "contention factor {}",
+            real.memory_contention()
+        );
+        assert!(
+            i_real < 0.95 * i_ideal,
+            "bandwidth ceiling must cost throughput"
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_memory_demand() {
+        let mut c = chip();
+        let s = c.step_pic();
+        assert!(s.memory_demand > 0.0);
+        assert_eq!(
+            s.memory_contention, 1.0,
+            "first interval starts uncontended"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let mut a = chip();
+        let mut b = chip();
+        for _ in 0..30 {
+            assert_eq!(a.step_pic(), b.step_pic());
+        }
+    }
+}

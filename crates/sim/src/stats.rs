@@ -1,0 +1,240 @@
+//! Time-series recording and reduction over chip snapshots.
+//!
+//! Experiments record a [`TimeSeries`] of per-interval samples and reduce
+//! it to the paper's reporting metrics: tracking error, overshoot relative
+//! to a target, averages, and per-island traces.
+
+use cpm_units::Seconds;
+
+/// One `(time, value)` sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Timestamp (end of the interval the value covers).
+    pub time: Seconds,
+    /// The recorded value.
+    pub value: f64,
+}
+
+/// A named sequence of samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, time: Seconds, value: f64) {
+        self.samples.push(Sample { time, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|s| s.value)
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.values().sum::<f64>() / self.len() as f64)
+    }
+
+    /// Largest value; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values()
+            .fold(None, |m, v| Some(m.map_or(v, |x: f64| x.max(v))))
+    }
+
+    /// Smallest value; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values()
+            .fold(None, |m, v| Some(m.map_or(v, |x: f64| x.min(v))))
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.values().map(|v| (v - mean).powi(2)).sum::<f64>() / self.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Largest positive excursion above `target`, as a fraction of
+    /// `target` — the paper's "maximum overshoot" against a power budget.
+    pub fn max_overshoot_vs(&self, target: f64) -> Option<f64> {
+        assert!(target != 0.0);
+        self.values()
+            .map(|v| ((v - target) / target.abs()).max(0.0))
+            .fold(None, |m, v| Some(m.map_or(v, |x: f64| x.max(v))))
+    }
+
+    /// Largest absolute excursion from `target`, as a fraction of `target`
+    /// (over- or under-shoot).
+    pub fn max_tracking_error_vs(&self, target: f64) -> Option<f64> {
+        assert!(target != 0.0);
+        self.values()
+            .map(|v| ((v - target) / target.abs()).abs())
+            .fold(None, |m, v| Some(m.map_or(v, |x: f64| x.max(v))))
+    }
+
+    /// Mean absolute tracking error against a *paired* target series (for
+    /// time-varying references like GPM allocations). Panics when lengths
+    /// differ.
+    pub fn mean_abs_error_vs_series(&self, target: &TimeSeries) -> Option<f64> {
+        assert_eq!(self.len(), target.len(), "paired series must align");
+        if self.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .zip(&target.samples)
+            .map(|(a, b)| (a.value - b.value).abs())
+            .sum();
+        Some(sum / self.len() as f64)
+    }
+
+    /// Reduces the series to per-chunk means: every `n` consecutive
+    /// samples collapse into one sample stamped with the chunk's last
+    /// timestamp. A trailing partial chunk is dropped. This is how a power
+    /// meter sampling at a coarser period (e.g. the GPM interval) would
+    /// report the same trace.
+    pub fn averaged_chunks(&self, n: usize) -> TimeSeries {
+        assert!(n > 0, "chunk size must be positive");
+        self.samples
+            .chunks_exact(n)
+            .map(|c| {
+                (
+                    c[n - 1].time,
+                    c.iter().map(|s| s.value).sum::<f64>() / n as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// The mean of the final `n` samples (steady-state window); `None`
+    /// when fewer than `n` samples exist.
+    pub fn tail_mean(&self, n: usize) -> Option<f64> {
+        if self.len() < n || n == 0 {
+            return None;
+        }
+        Some(
+            self.samples[self.len() - n..]
+                .iter()
+                .map(|s| s.value)
+                .sum::<f64>()
+                / n as f64,
+        )
+    }
+}
+
+impl FromIterator<(Seconds, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (Seconds, f64)>>(iter: I) -> Self {
+        let mut ts = Self::new();
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (Seconds::from_ms(i as f64), v))
+            .collect()
+    }
+
+    #[test]
+    fn empty_series_reductions_are_none() {
+        let s = TimeSeries::new();
+        assert!(s.mean().is_none());
+        assert!(s.max().is_none());
+        assert!(s.min().is_none());
+        assert!(s.std_dev().is_none());
+        assert!(s.tail_mean(1).is_none());
+    }
+
+    #[test]
+    fn basic_reductions() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert!((s.std_dev().unwrap() - 1.118).abs() < 1e-3);
+        assert_eq!(s.tail_mean(2), Some(3.5));
+    }
+
+    #[test]
+    fn overshoot_ignores_undershoot() {
+        let s = series(&[70.0, 82.0, 78.0, 84.0]);
+        // Max overshoot vs 80: (84-80)/80 = 5 %.
+        assert!((s.max_overshoot_vs(80.0).unwrap() - 0.05).abs() < 1e-12);
+        // Tracking error includes the 70 sample: 12.5 %.
+        assert!((s.max_tracking_error_vs(80.0).unwrap() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_above_target_is_zero_overshoot() {
+        let s = series(&[70.0, 75.0, 79.9]);
+        assert_eq!(s.max_overshoot_vs(80.0), Some(0.0));
+    }
+
+    #[test]
+    fn paired_error_against_moving_target() {
+        let actual = series(&[10.0, 20.0, 30.0]);
+        let target = series(&[12.0, 18.0, 30.0]);
+        assert!((actual.mean_abs_error_vs_series(&target).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_pair_lengths_panic() {
+        series(&[1.0]).mean_abs_error_vs_series(&series(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn averaged_chunks_reduces_resolution() {
+        let s = series(&[1.0, 3.0, 5.0, 7.0, 9.0]);
+        let a = s.averaged_chunks(2);
+        assert_eq!(a.len(), 2); // trailing partial chunk dropped
+        let vals: Vec<f64> = a.values().collect();
+        assert_eq!(vals, vec![2.0, 6.0]);
+        // Timestamp of each chunk is its last sample's.
+        assert_eq!(a.samples()[0].time, Seconds::from_ms(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn averaged_chunks_rejects_zero() {
+        series(&[1.0]).averaged_chunks(0);
+    }
+
+    #[test]
+    fn tail_mean_needs_enough_samples() {
+        let s = series(&[1.0, 2.0]);
+        assert!(s.tail_mean(3).is_none());
+        assert!(s.tail_mean(0).is_none());
+    }
+}

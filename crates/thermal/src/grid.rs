@@ -1,0 +1,263 @@
+//! The RC thermal network and its integrator.
+//!
+//! One thermal node per core. Vertical resistance `R_v` drains heat to the
+//! ambient/heat-sink node; lateral resistance `R_l` couples 4-connected
+//! floorplan neighbours. Integration is forward Euler with automatic
+//! sub-stepping to keep the explicit scheme stable
+//! (`dt_sub < C / (1/R_v + 4/R_l)` with margin).
+
+use crate::floorplan::Floorplan;
+use cpm_units::{Celsius, CoreId, Seconds, Watts};
+
+/// Physical parameters of the RC network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Vertical core→ambient thermal resistance (°C per watt).
+    pub r_vertical: f64,
+    /// Lateral core→core thermal resistance (°C per watt).
+    pub r_lateral: f64,
+    /// Per-core thermal capacitance (joules per °C).
+    pub capacitance: f64,
+    /// Ambient (heat-sink) temperature.
+    pub ambient: Celsius,
+}
+
+impl ThermalParams {
+    /// Defaults giving a ~60 ms thermal time constant and ≈ 2 °C/W vertical
+    /// rise — representative of a 90 nm-class core under a capable heat
+    /// sink, and fast enough that hotspots develop within a handful of GPM
+    /// intervals (which is the timescale §IV-A's policy acts on).
+    pub fn paper_default() -> Self {
+        Self {
+            r_vertical: 2.0,
+            r_lateral: 4.0,
+            capacitance: 0.03,
+            ambient: Celsius::new(45.0),
+        }
+    }
+}
+
+/// The thermal state of the die: one temperature per core node.
+#[derive(Debug, Clone)]
+pub struct ThermalGrid {
+    floorplan: Floorplan,
+    params: ThermalParams,
+    temperatures: Vec<f64>,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl ThermalGrid {
+    /// Creates a grid with every node at ambient temperature.
+    pub fn new(floorplan: Floorplan, params: ThermalParams) -> Self {
+        assert!(params.r_vertical > 0.0 && params.r_lateral > 0.0);
+        assert!(params.capacitance > 0.0);
+        let n = floorplan.cores();
+        let neighbors = (0..n)
+            .map(|i| {
+                floorplan
+                    .neighbors(CoreId(i))
+                    .into_iter()
+                    .map(|c| c.index())
+                    .collect()
+            })
+            .collect();
+        Self {
+            temperatures: vec![params.ambient.value(); n],
+            floorplan,
+            params,
+            neighbors,
+        }
+    }
+
+    /// The floorplan this grid models.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The physical parameters.
+    pub fn params(&self) -> ThermalParams {
+        self.params
+    }
+
+    /// Current temperature of a core node.
+    pub fn temperature(&self, core: CoreId) -> Celsius {
+        Celsius::new(self.temperatures[core.index()])
+    }
+
+    /// All node temperatures, core-id order.
+    pub fn temperatures(&self) -> Vec<Celsius> {
+        self.temperatures.iter().map(|&t| Celsius::new(t)).collect()
+    }
+
+    /// The hottest node and its temperature.
+    pub fn hottest(&self) -> (CoreId, Celsius) {
+        let (i, &t) = self
+            .temperatures
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        (CoreId(i), Celsius::new(t))
+    }
+
+    /// Resets every node to ambient.
+    pub fn reset(&mut self) {
+        self.temperatures.fill(self.params.ambient.value());
+    }
+
+    /// Advances the network by `dt` with per-core heat input `powers`
+    /// (watts, core-id order), sub-stepping as needed for stability.
+    pub fn step(&mut self, powers: &[Watts], dt: Seconds) {
+        assert_eq!(
+            powers.len(),
+            self.temperatures.len(),
+            "one power value per core required"
+        );
+        let p = &self.params;
+        // Explicit-Euler stability bound on the nodal conductance sum.
+        let g_max = 1.0 / p.r_vertical + 4.0 / p.r_lateral;
+        let dt_stable = 0.5 * p.capacitance / g_max;
+        let substeps = (dt.value() / dt_stable).ceil().max(1.0) as usize;
+        let h = dt.value() / substeps as f64;
+        let mut next = vec![0.0; self.temperatures.len()];
+        for _ in 0..substeps {
+            for i in 0..self.temperatures.len() {
+                let t = self.temperatures[i];
+                let mut flow = powers[i].value() - (t - p.ambient.value()) / p.r_vertical;
+                for &j in &self.neighbors[i] {
+                    flow -= (t - self.temperatures[j]) / p.r_lateral;
+                }
+                next[i] = t + h * flow / p.capacitance;
+            }
+            std::mem::swap(&mut self.temperatures, &mut next);
+        }
+    }
+
+    /// The analytic steady-state temperature of a *uniformly powered* die:
+    /// with equal power everywhere no lateral heat flows, so
+    /// `T = T_amb + P·R_v`. Useful for validation.
+    pub fn uniform_steady_state(&self, per_core_power: Watts) -> Celsius {
+        Celsius::new(self.params.ambient.value() + per_core_power.value() * self.params.r_vertical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2x4() -> ThermalGrid {
+        ThermalGrid::new(Floorplan::grid(2, 4), ThermalParams::paper_default())
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let g = grid_2x4();
+        for t in g.temperatures() {
+            assert_eq!(t, Celsius::new(45.0));
+        }
+    }
+
+    #[test]
+    fn uniform_power_reaches_analytic_steady_state() {
+        let mut g = grid_2x4();
+        let p = vec![Watts::new(10.0); 8];
+        // Run well past the ~60 ms time constant.
+        for _ in 0..200 {
+            g.step(&p, Seconds::from_ms(5.0));
+        }
+        let expect = g.uniform_steady_state(Watts::new(10.0));
+        for t in g.temperatures() {
+            assert!(
+                (t.value() - expect.value()).abs() < 0.05,
+                "node at {t}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut g = grid_2x4();
+        g.step(&[Watts::ZERO; 8], Seconds::from_ms(100.0));
+        for t in g.temperatures() {
+            assert!((t.value() - 45.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hot_core_heats_its_neighbors_most() {
+        let mut g = grid_2x4();
+        let mut p = vec![Watts::ZERO; 8];
+        p[0] = Watts::new(12.0); // corner core
+        for _ in 0..400 {
+            g.step(&p, Seconds::from_ms(5.0));
+        }
+        let t0 = g.temperature(CoreId(0)).value();
+        let t1 = g.temperature(CoreId(1)).value(); // adjacent
+        let t4 = g.temperature(CoreId(4)).value(); // adjacent (below)
+        let t7 = g.temperature(CoreId(7)).value(); // far corner
+        assert!(t0 > t1 && t0 > t4, "source is hottest");
+        assert!(t1 > t7 && t4 > t7, "adjacent nodes hotter than distant");
+        assert!(t1 > 45.5, "lateral coupling must actually conduct heat");
+    }
+
+    #[test]
+    fn adjacent_hot_pair_exceeds_isolated_hot_cores() {
+        // The physical basis of §IV-A: two adjacent cores at high power run
+        // hotter than the same two cores placed far apart.
+        let params = ThermalParams::paper_default();
+        let mut adjacent = ThermalGrid::new(Floorplan::grid(2, 4), params);
+        let mut separated = ThermalGrid::new(Floorplan::grid(2, 4), params);
+        let mut pa = vec![Watts::new(1.0); 8];
+        pa[0] = Watts::new(12.0);
+        pa[1] = Watts::new(12.0); // neighbours
+        let mut ps = vec![Watts::new(1.0); 8];
+        ps[0] = Watts::new(12.0);
+        ps[7] = Watts::new(12.0); // opposite corners
+        for _ in 0..400 {
+            adjacent.step(&pa, Seconds::from_ms(5.0));
+            separated.step(&ps, Seconds::from_ms(5.0));
+        }
+        let peak_adj = adjacent.hottest().1.value();
+        let peak_sep = separated.hottest().1.value();
+        assert!(
+            peak_adj > peak_sep + 0.3,
+            "adjacent pair {peak_adj} should exceed separated {peak_sep}"
+        );
+    }
+
+    #[test]
+    fn step_is_stable_for_large_dt() {
+        // A huge dt must be sub-stepped, not explode.
+        let mut g = grid_2x4();
+        g.step(&[Watts::new(10.0); 8], Seconds::new(5.0));
+        for t in g.temperatures() {
+            assert!(t.is_finite());
+            assert!(t.value() < 100.0, "temperature {t} diverged");
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut g = grid_2x4();
+        g.step(&[Watts::new(10.0); 8], Seconds::new(1.0));
+        g.reset();
+        for t in g.temperatures() {
+            assert_eq!(t, Celsius::new(45.0));
+        }
+    }
+
+    #[test]
+    fn hottest_reports_argmax() {
+        let mut g = grid_2x4();
+        let mut p = vec![Watts::ZERO; 8];
+        p[5] = Watts::new(8.0);
+        g.step(&p, Seconds::from_ms(50.0));
+        assert_eq!(g.hottest().0, CoreId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "one power value per core")]
+    fn wrong_power_length_panics() {
+        grid_2x4().step(&[Watts::ZERO; 3], Seconds::from_ms(1.0));
+    }
+}

@@ -1,0 +1,25 @@
+//! Lumped-RC thermal modeling of a CMP die.
+//!
+//! The paper's thermal-aware provisioning policy (§IV-A) reasons about
+//! *hotspots*: sustained high power on physically adjacent cores heats a
+//! region of the die past safe limits. That requires a spatially-coupled
+//! thermal substrate, which the paper gets implicitly from its simulation
+//! stack; we build the standard reduced-order equivalent — one RC node per
+//! core with a vertical resistance to the heat sink and lateral resistances
+//! between floorplan neighbours:
+//!
+//! ```text
+//! C·dTᵢ/dt = Pᵢ − (Tᵢ − T_amb)/R_v − Σ_{j∈nbr(i)} (Tᵢ − Tⱼ)/R_l
+//! ```
+//!
+//! * [`floorplan`] — 2-D grid placement of cores and their adjacency,
+//! * [`grid`] — the RC network and its forward-Euler integrator,
+//! * [`hotspot`] — threshold-violation tracking over time.
+
+pub mod floorplan;
+pub mod grid;
+pub mod hotspot;
+
+pub use floorplan::Floorplan;
+pub use grid::{ThermalGrid, ThermalParams};
+pub use hotspot::HotspotTracker;

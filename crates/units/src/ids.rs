@@ -1,0 +1,79 @@
+//! Typed indices for the entities of a chip-multiprocessor.
+//!
+//! All three are plain `usize` wrappers with `Ord`/`Hash`, suitable as map
+//! keys and for direct indexing of per-entity `Vec`s.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a processor core within the chip (chip-global numbering).
+    CoreId,
+    "core"
+);
+id_type!(
+    /// Index of a voltage/frequency island within the chip.
+    IslandId,
+    "island"
+);
+id_type!(
+    /// Index of a benchmark within the workload roster.
+    BenchmarkId,
+    "bench"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut m = HashMap::new();
+        m.insert(IslandId(2), "i2");
+        m.insert(IslandId(0), "i0");
+        assert_eq!(m[&IslandId(2)], "i2");
+        assert!(CoreId(1) < CoreId(3));
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(CoreId(5).to_string(), "core5");
+        assert_eq!(IslandId(1).to_string(), "island1");
+        assert_eq!(BenchmarkId(7).to_string(), "bench7");
+    }
+
+    #[test]
+    fn from_usize_roundtrip() {
+        let c: CoreId = 9usize.into();
+        assert_eq!(c.index(), 9);
+    }
+}

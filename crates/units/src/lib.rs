@@ -1,0 +1,23 @@
+//! Typed physical quantities and entity identifiers shared across the CPM
+//! workspace.
+//!
+//! Every quantity is a thin `f64` newtype with the arithmetic that makes
+//! physical sense for it (you can add two powers, scale a power by a float,
+//! divide an energy by a time to get a power, …). Dimensionally silly
+//! operations simply don't exist, which catches a whole class of unit bugs
+//! (Hz-vs-MHz, W-vs-mW) at compile time.
+//!
+//! The identifiers ([`CoreId`], [`IslandId`]) are also newtypes so a core
+//! index can never be silently used where an island index is expected.
+
+pub mod ids;
+pub mod quantities;
+
+pub use ids::{BenchmarkId, CoreId, IslandId};
+pub use quantities::{Celsius, Hertz, Joules, Ratio, Seconds, Volts, Watts};
+
+/// Convenience prelude: `use cpm_units::prelude::*;`.
+pub mod prelude {
+    pub use crate::ids::{BenchmarkId, CoreId, IslandId};
+    pub use crate::quantities::{Celsius, Hertz, Joules, Ratio, Seconds, Volts, Watts};
+}

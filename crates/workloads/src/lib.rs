@@ -1,0 +1,32 @@
+//! Synthetic workload models standing in for the paper's PARSEC and SPEC
+//! benchmarks.
+//!
+//! The controllers under study never see instructions — they observe
+//! per-interval *signatures*: utilization, BIPS, and power. Each benchmark
+//! is therefore modeled by an analytic [`profile::BenchmarkProfile`]
+//! (base CPI, memory intensity, working set, activity factor, phase
+//! structure) whose signature reproduces the published CPU-bound /
+//! memory-bound behaviour of the real application (Table II/III), plus a
+//! seeded [`phase::PhaseGenerator`] that supplies the time-varying demand
+//! the GPM provisions against, and an [`address_stream::AddressStream`]
+//! that exercises the real cache simulator for miss-rate calibration.
+//!
+//! * [`profile`] — the analytic per-benchmark model,
+//! * [`parsec`] — the paper's 8 PARSEC applications/kernels (Table II),
+//! * [`spec`] — mesa/bzip2/gcc/sixtrack used by the thermal study (§IV-A),
+//! * [`phase`] — Markov + periodic phase generation,
+//! * [`mixes`] — Mix-1/2/3 island assignments (Table III) and the thermal
+//!   mix of Fig. 18(a),
+//! * [`address_stream`] — synthetic memory reference streams.
+
+pub mod address_stream;
+pub mod mixes;
+pub mod parsec;
+pub mod phase;
+pub mod profile;
+pub mod spec;
+
+pub use address_stream::AddressStream;
+pub use mixes::{Mix, WorkloadAssignment};
+pub use phase::{PhaseGenerator, PhaseSample};
+pub use profile::{BenchmarkProfile, InputSet, WorkloadClass};

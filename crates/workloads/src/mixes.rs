@@ -1,0 +1,262 @@
+//! Application mixes and island assignments (Table III).
+//!
+//! * **Mix-1** (8 cores, 2 per island): each island pairs one CPU-bound
+//!   benchmark (sim-large input) with one memory-bound benchmark (native
+//!   input) — the paper's default.
+//! * **Mix-2** (8 cores): islands are homogeneous — C,C / M,M / C,C / M,M.
+//! * **Mix-3** (16/32 cores, 4 per island): all-C and all-M islands,
+//!   replicated once more for 32 cores.
+//! * **Thermal mix** (8 cores, 1 per island): the SPEC roster of
+//!   Fig. 18(a).
+
+use crate::parsec;
+use crate::profile::{BenchmarkProfile, InputSet, WorkloadClass};
+use crate::spec;
+use cpm_units::{CoreId, IslandId};
+
+/// A named benchmark→core assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Table III(a): C+M per island, 8 cores.
+    Mix1,
+    /// Table III(b): homogeneous islands, 8 cores.
+    Mix2,
+    /// Table III(c): 16 cores, 4 per island (replicate for 32).
+    Mix3,
+    /// Fig. 18(a): SPEC roster, 8 single-core islands.
+    Thermal,
+}
+
+/// Fully resolved workload placement: which profile runs on which core, and
+/// which island each core belongs to.
+#[derive(Debug, Clone)]
+pub struct WorkloadAssignment {
+    profiles: Vec<BenchmarkProfile>,
+    cores_per_island: usize,
+}
+
+impl WorkloadAssignment {
+    /// Builds an assignment from per-core profiles with uniform island
+    /// width. The core count must be an exact multiple of the width.
+    pub fn new(profiles: Vec<BenchmarkProfile>, cores_per_island: usize) -> Self {
+        assert!(cores_per_island > 0);
+        assert!(!profiles.is_empty());
+        assert_eq!(
+            profiles.len() % cores_per_island,
+            0,
+            "core count must divide evenly into islands"
+        );
+        Self {
+            profiles,
+            cores_per_island,
+        }
+    }
+
+    /// Resolves a named paper mix for the given total core count.
+    ///
+    /// `Mix1`/`Mix2`/`Thermal` require 8 cores; `Mix3` accepts 16 or 32.
+    pub fn paper_mix(mix: Mix, cores: usize) -> Self {
+        // C-role benchmarks keep sim-large; M-role get native input (§III).
+        let c = |p: BenchmarkProfile| p.with_input(InputSet::SimLarge);
+        let m = |p: BenchmarkProfile| p.with_input(InputSet::Native);
+        match mix {
+            Mix::Mix1 => {
+                assert_eq!(cores, 8, "Mix-1 is defined for 8 cores");
+                Self::new(
+                    vec![
+                        c(parsec::blackscholes()),
+                        m(parsec::streamcluster()),
+                        c(parsec::bodytrack()),
+                        m(parsec::facesim()),
+                        c(parsec::freqmine()),
+                        m(parsec::canneal()),
+                        c(parsec::x264()),
+                        m(parsec::vips()),
+                    ],
+                    2,
+                )
+            }
+            Mix::Mix2 => {
+                assert_eq!(cores, 8, "Mix-2 is defined for 8 cores");
+                Self::new(
+                    vec![
+                        c(parsec::blackscholes()),
+                        c(parsec::bodytrack()),
+                        m(parsec::streamcluster()),
+                        m(parsec::facesim()),
+                        c(parsec::freqmine()),
+                        c(parsec::x264()),
+                        m(parsec::canneal()),
+                        m(parsec::vips()),
+                    ],
+                    2,
+                )
+            }
+            Mix::Mix3 => {
+                assert!(
+                    cores == 16 || cores == 32,
+                    "Mix-3 is defined for 16/32 cores"
+                );
+                let block = [
+                    c(parsec::blackscholes()),
+                    c(parsec::bodytrack()),
+                    c(parsec::freqmine()),
+                    c(parsec::x264()),
+                    m(parsec::streamcluster()),
+                    m(parsec::facesim()),
+                    m(parsec::canneal()),
+                    m(parsec::vips()),
+                ];
+                let mut profiles = Vec::with_capacity(cores);
+                while profiles.len() < cores {
+                    profiles.extend(block.iter().cloned());
+                }
+                Self::new(profiles, 4)
+            }
+            Mix::Thermal => {
+                assert_eq!(cores, 8, "the thermal mix is defined for 8 cores");
+                Self::new(spec::thermal_roster(), 1)
+            }
+        }
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Cores per island (uniform).
+    pub fn cores_per_island(&self) -> usize {
+        self.cores_per_island
+    }
+
+    /// Number of islands.
+    pub fn islands(&self) -> usize {
+        self.profiles.len() / self.cores_per_island
+    }
+
+    /// The profile scheduled on `core`.
+    pub fn profile(&self, core: CoreId) -> &BenchmarkProfile {
+        &self.profiles[core.index()]
+    }
+
+    /// All per-core profiles in core order.
+    pub fn profiles(&self) -> &[BenchmarkProfile] {
+        &self.profiles
+    }
+
+    /// The island a core belongs to.
+    pub fn island_of(&self, core: CoreId) -> IslandId {
+        IslandId(core.index() / self.cores_per_island)
+    }
+
+    /// The cores of an island.
+    pub fn cores_of(&self, island: IslandId) -> Vec<CoreId> {
+        let start = island.index() * self.cores_per_island;
+        (start..start + self.cores_per_island).map(CoreId).collect()
+    }
+
+    /// The C/M class string of an island, e.g. `"C, M"` (Table III's
+    /// characteristics column).
+    pub fn island_classes(&self, island: IslandId) -> String {
+        self.cores_of(island)
+            .iter()
+            .map(|&c| self.profile(c).class().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// True when the island mixes CPU-bound and memory-bound work — the
+    /// co-scheduling situation that makes island-level DVFS hard (§IV).
+    pub fn island_is_heterogeneous(&self, island: IslandId) -> bool {
+        let classes: Vec<WorkloadClass> = self
+            .cores_of(island)
+            .iter()
+            .map(|&c| self.profile(c).class())
+            .collect();
+        classes.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix1_matches_table_3a() {
+        let a = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
+        assert_eq!(a.cores(), 8);
+        assert_eq!(a.islands(), 4);
+        // Every island pairs a C with an M benchmark.
+        for i in 0..4 {
+            assert_eq!(a.island_classes(IslandId(i)), "C, M");
+            assert!(a.island_is_heterogeneous(IslandId(i)));
+        }
+        assert_eq!(a.profile(CoreId(0)).short, "bschls");
+        assert_eq!(a.profile(CoreId(1)).short, "sclust");
+        assert_eq!(a.profile(CoreId(6)).short, "x264");
+        assert_eq!(a.profile(CoreId(7)).short, "vips");
+    }
+
+    #[test]
+    fn mix2_matches_table_3b() {
+        let a = WorkloadAssignment::paper_mix(Mix::Mix2, 8);
+        assert_eq!(a.island_classes(IslandId(0)), "C, C");
+        assert_eq!(a.island_classes(IslandId(1)), "M, M");
+        assert_eq!(a.island_classes(IslandId(2)), "C, C");
+        assert_eq!(a.island_classes(IslandId(3)), "M, M");
+        for i in 0..4 {
+            assert!(!a.island_is_heterogeneous(IslandId(i)));
+        }
+    }
+
+    #[test]
+    fn mix3_for_16_and_32_cores() {
+        let a16 = WorkloadAssignment::paper_mix(Mix::Mix3, 16);
+        assert_eq!(a16.islands(), 4);
+        assert_eq!(a16.cores_per_island(), 4);
+        assert_eq!(a16.island_classes(IslandId(0)), "C, C, C, C");
+        assert_eq!(a16.island_classes(IslandId(1)), "M, M, M, M");
+
+        let a32 = WorkloadAssignment::paper_mix(Mix::Mix3, 32);
+        assert_eq!(a32.islands(), 8);
+        // 32-core replicates the 16-core mix twice (§IV).
+        for c in 0..16 {
+            assert_eq!(
+                a32.profile(CoreId(c)).short,
+                a32.profile(CoreId(c + 16)).short
+            );
+        }
+    }
+
+    #[test]
+    fn thermal_mix_is_single_core_islands() {
+        let a = WorkloadAssignment::paper_mix(Mix::Thermal, 8);
+        assert_eq!(a.islands(), 8);
+        assert_eq!(a.cores_per_island(), 1);
+        assert_eq!(a.profile(CoreId(0)).short, "mesa");
+        assert_eq!(a.profile(CoreId(3)).short, "sixtrack");
+    }
+
+    #[test]
+    fn island_core_mapping_roundtrips() {
+        let a = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
+        for i in 0..a.islands() {
+            for c in a.cores_of(IslandId(i)) {
+                assert_eq!(a.island_of(c), IslandId(i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn ragged_assignment_rejected() {
+        WorkloadAssignment::new(vec![parsec::x264(); 7], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Mix-1 is defined for 8")]
+    fn mix1_requires_8_cores() {
+        WorkloadAssignment::paper_mix(Mix::Mix1, 16);
+    }
+}

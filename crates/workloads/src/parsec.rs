@@ -1,0 +1,387 @@
+//! The paper's PARSEC roster (Table II): six applications and two kernels.
+//!
+//! Parameter values are synthetic but shaped by the published PARSEC
+//! characterization: `streamcluster` and `canneal` are the memory-hungry
+//! kernels (streaming vs. pointer-chasing), `blackscholes` is tiny and
+//! regular, `x264` has strong frame periodicity, `canneal` the largest
+//! working set. All profiles are defined at their `sim-large` input;
+//! [`crate::profile::BenchmarkProfile::with_input`] derives the `native`
+//! (memory-intensive) variant the paper uses for the M-class role.
+
+use crate::profile::{BenchmarkProfile, InputSet};
+
+const MB: u64 = 1 << 20;
+
+/// `blackscholes` — "uses PDE to solve an option pricing problem".
+pub fn blackscholes() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "blackscholes",
+        short: "bschls",
+        description: "PDE-based option pricing (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.85,
+        l1_mpki: 4.0,
+        l2_mpki: 0.15,
+        activity: 0.85,
+        working_set: 2 * MB,
+        stream_fraction: 0.30,
+        phase_period: 0.040,
+        variability: 0.08,
+    }
+}
+
+/// `bodytrack` — "tracks the body of a person".
+pub fn bodytrack() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "bodytrack",
+        short: "btrack",
+        description: "computer-vision body tracking (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.0,
+        l1_mpki: 8.0,
+        l2_mpki: 0.50,
+        activity: 0.75,
+        working_set: 8 * MB,
+        stream_fraction: 0.25,
+        phase_period: 0.060,
+        variability: 0.20,
+    }
+}
+
+/// `facesim` — "simulates motion of a human face".
+pub fn facesim() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "facesim",
+        short: "fsim",
+        description: "physics simulation of a human face (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.05,
+        l1_mpki: 12.0,
+        l2_mpki: 1.10,
+        activity: 0.70,
+        working_set: 32 * MB,
+        stream_fraction: 0.40,
+        phase_period: 0.080,
+        variability: 0.18,
+    }
+}
+
+/// `freqmine` — "does frequent item set mining".
+pub fn freqmine() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "freqmine",
+        short: "fmine",
+        description: "frequent itemset mining (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.95,
+        l1_mpki: 10.0,
+        l2_mpki: 0.50,
+        activity: 0.75,
+        working_set: 16 * MB,
+        stream_fraction: 0.20,
+        phase_period: 0.070,
+        variability: 0.15,
+    }
+}
+
+/// `x264` — "a video encoding app" with pronounced per-frame phases.
+pub fn x264() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "x264",
+        short: "x264",
+        description: "H.264 video encoding (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.80,
+        l1_mpki: 7.0,
+        l2_mpki: 0.45,
+        activity: 0.85,
+        working_set: 16 * MB,
+        stream_fraction: 0.50,
+        phase_period: 0.033,
+        variability: 0.30,
+    }
+}
+
+/// `vips` — "an image processing app".
+pub fn vips() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "vips",
+        short: "vips",
+        description: "image transformation pipeline (application)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.90,
+        l1_mpki: 10.0,
+        l2_mpki: 1.00,
+        activity: 0.80,
+        working_set: 32 * MB,
+        stream_fraction: 0.60,
+        phase_period: 0.050,
+        variability: 0.15,
+    }
+}
+
+/// `streamcluster` — "does online clustering in an input stream" (kernel).
+pub fn streamcluster() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "streamcluster",
+        short: "sclust",
+        description: "online stream clustering (kernel)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.10,
+        l1_mpki: 15.0,
+        l2_mpki: 1.40,
+        activity: 0.65,
+        working_set: 64 * MB,
+        stream_fraction: 0.80,
+        phase_period: 0.090,
+        variability: 0.12,
+    }
+}
+
+/// `canneal` — "simulates cache aware annealing to optimize routing cost"
+/// (kernel; pointer-chasing, biggest working set of the suite).
+pub fn canneal() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "canneal",
+        short: "canneal",
+        description: "cache-aware simulated annealing for chip routing (kernel)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.30,
+        l1_mpki: 18.0,
+        l2_mpki: 1.80,
+        activity: 0.60,
+        working_set: 128 * MB,
+        stream_fraction: 0.05,
+        phase_period: 0.100,
+        variability: 0.22,
+    }
+}
+
+/// `ferret` — content-based similarity search (pipeline-parallel).
+/// Not part of the paper's roster; provided for building custom mixes.
+pub fn ferret() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "ferret",
+        short: "ferret",
+        description: "content-based image similarity search (application, extended roster)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.0,
+        l1_mpki: 11.0,
+        l2_mpki: 0.9,
+        activity: 0.75,
+        working_set: 24 * MB,
+        stream_fraction: 0.30,
+        phase_period: 0.055,
+        variability: 0.17,
+    }
+}
+
+/// `swaptions` — Monte-Carlo swaption pricing (embarrassingly parallel,
+/// very CPU-bound). Extended roster.
+pub fn swaptions() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "swaptions",
+        short: "swapt",
+        description: "Monte-Carlo swaption pricing (application, extended roster)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.78,
+        l1_mpki: 3.5,
+        l2_mpki: 0.12,
+        activity: 0.88,
+        working_set: MB,
+        stream_fraction: 0.15,
+        phase_period: 0.045,
+        variability: 0.05,
+    }
+}
+
+/// `fluidanimate` — SPH fluid simulation (frame-periodic like x264, more
+/// memory traffic). Extended roster.
+pub fn fluidanimate() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "fluidanimate",
+        short: "fluid",
+        description:
+            "smoothed-particle-hydrodynamics fluid animation (application, extended roster)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.95,
+        l1_mpki: 12.0,
+        l2_mpki: 1.2,
+        activity: 0.78,
+        working_set: 48 * MB,
+        stream_fraction: 0.45,
+        phase_period: 0.033,
+        variability: 0.22,
+    }
+}
+
+/// `dedup` — pipelined compression/deduplication (bursty, hash-heavy).
+/// Extended roster.
+pub fn dedup() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "dedup",
+        short: "dedup",
+        description: "pipelined deduplication + compression (kernel, extended roster)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.15,
+        l1_mpki: 14.0,
+        l2_mpki: 1.5,
+        activity: 0.70,
+        working_set: 64 * MB,
+        stream_fraction: 0.55,
+        phase_period: 0.075,
+        variability: 0.25,
+    }
+}
+
+/// `raytrace` — real-time ray tracing (branchy FP, moderate memory).
+/// Extended roster.
+pub fn raytrace() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "raytrace",
+        short: "rtrace",
+        description: "real-time ray tracing (application, extended roster)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.92,
+        l1_mpki: 9.0,
+        l2_mpki: 0.7,
+        activity: 0.82,
+        working_set: 32 * MB,
+        stream_fraction: 0.25,
+        phase_period: 0.033,
+        variability: 0.20,
+    }
+}
+
+/// The five extended-roster profiles (not used by the paper's mixes).
+pub fn extended() -> Vec<BenchmarkProfile> {
+    vec![ferret(), swaptions(), fluidanimate(), dedup(), raytrace()]
+}
+
+/// All eight PARSEC profiles in the paper's Table II order.
+pub fn all() -> Vec<BenchmarkProfile> {
+    vec![
+        blackscholes(),
+        bodytrack(),
+        facesim(),
+        freqmine(),
+        x264(),
+        vips(),
+        streamcluster(),
+        canneal(),
+    ]
+}
+
+/// Looks up a profile by its abbreviation (`bschls`, `btrack`, …),
+/// searching the paper roster first and then the extended roster.
+pub fn by_short(short: &str) -> Option<BenchmarkProfile> {
+    all()
+        .into_iter()
+        .chain(extended())
+        .find(|p| p.short == short)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadClass;
+
+    #[test]
+    fn roster_has_eight_unique_benchmarks() {
+        let v = all();
+        assert_eq!(v.len(), 8);
+        let mut shorts: Vec<_> = v.iter().map(|p| p.short).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), 8);
+    }
+
+    #[test]
+    fn all_are_cpu_bound_on_sim_large() {
+        // With sim-large inputs every benchmark can fill the C role.
+        for p in all() {
+            assert_eq!(
+                p.class(),
+                WorkloadClass::CpuBound,
+                "{} should be C on sim-large",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn m_role_benchmarks_flip_on_native_input() {
+        // The four Mix-1 M-role benchmarks must classify as memory-bound
+        // with native inputs (§III).
+        for short in ["sclust", "fsim", "canneal", "vips"] {
+            let p = by_short(short).unwrap().with_input(crate::InputSet::Native);
+            assert_eq!(
+                p.class(),
+                WorkloadClass::MemoryBound,
+                "{short} should be M on native"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_short_name() {
+        assert_eq!(by_short("x264").unwrap().name, "x264");
+        assert_eq!(by_short("swapt").unwrap().name, "swaptions");
+        assert!(by_short("doesnotexist").is_none());
+    }
+
+    #[test]
+    fn extended_roster_is_disjoint_and_well_formed() {
+        let paper: Vec<&str> = all().iter().map(|p| p.short).collect();
+        for p in extended() {
+            assert!(!paper.contains(&p.short), "{} collides", p.short);
+            assert!(p.base_cpi > 0.3 && p.base_cpi < 3.0);
+            assert!(p.l1_mpki >= p.l2_mpki);
+            assert!(p.description.contains("extended roster"));
+        }
+        assert_eq!(extended().len(), 5);
+    }
+
+    #[test]
+    fn extended_roster_spans_both_classes_under_native_input() {
+        use crate::profile::{InputSet, WorkloadClass};
+        // swaptions stays CPU-bound even on native inputs; dedup flips.
+        assert_eq!(
+            swaptions().with_input(InputSet::Native).class(),
+            WorkloadClass::CpuBound
+        );
+        assert_eq!(
+            dedup().with_input(InputSet::Native).class(),
+            WorkloadClass::MemoryBound
+        );
+    }
+
+    #[test]
+    fn canneal_is_least_streaming_streamcluster_most() {
+        let c = canneal();
+        let s = streamcluster();
+        assert!(c.stream_fraction < 0.1, "canneal pointer-chases");
+        assert!(s.stream_fraction > 0.7, "streamcluster streams");
+    }
+
+    #[test]
+    fn x264_has_strongest_phase_variability() {
+        let max_var = all()
+            .into_iter()
+            .max_by(|a, b| a.variability.partial_cmp(&b.variability).unwrap())
+            .unwrap();
+        assert_eq!(max_var.short, "x264");
+    }
+
+    #[test]
+    fn profiles_have_sane_parameter_ranges() {
+        for p in all() {
+            assert!(p.base_cpi > 0.3 && p.base_cpi < 3.0, "{}", p.name);
+            assert!(p.l1_mpki >= p.l2_mpki, "{}: L1 misses ⊇ L2 misses", p.name);
+            assert!((0.0..=1.0).contains(&p.activity));
+            assert!((0.0..=1.0).contains(&p.stream_fraction));
+            assert!((0.0..1.0).contains(&p.variability));
+            assert!(p.working_set >= MB);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Time-varying workload phases.
+//!
+//! The GPM exists because workload demand *varies over time* — Fig. 7/8
+//! show island power demand wandering between ~12 % and ~26 % of chip power
+//! as applications move through phases. The generator combines three
+//! standard components of program phase behaviour:
+//!
+//! 1. a **periodic** term (period/amplitude from the profile — video
+//!    encoding frames, solver iterations),
+//! 2. a **Markov-modulated** intensity level (low/nominal/high dwell
+//!    phases, geometric dwell times),
+//! 3. small white **jitter**.
+//!
+//! Each `(seed, stream)` pair produces an independent, reproducible
+//! sequence; the simulator gives every core its own stream id.
+
+use crate::profile::BenchmarkProfile;
+use cpm_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Instantaneous phase multipliers applied to a profile's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSample {
+    /// Multiplier on the core-bound CPI (≥ `1-var`, ≤ `1+var`):
+    /// higher = less ILP available this phase.
+    pub cpi_scale: f64,
+    /// Multiplier on memory intensity (L1/L2 miss rates).
+    pub mem_scale: f64,
+    /// Multiplier on the functional-unit activity factor.
+    pub activity_scale: f64,
+}
+
+impl PhaseSample {
+    /// The neutral sample (no modulation).
+    pub const NEUTRAL: Self = Self {
+        cpi_scale: 1.0,
+        mem_scale: 1.0,
+        activity_scale: 1.0,
+    };
+}
+
+/// Markov intensity levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Low,
+    Nominal,
+    High,
+}
+
+impl Level {
+    fn intensity(self) -> f64 {
+        match self {
+            Level::Low => -1.0,
+            Level::Nominal => 0.0,
+            Level::High => 1.0,
+        }
+    }
+}
+
+/// A seeded per-core phase sequence for one benchmark.
+#[derive(Debug, Clone)]
+pub struct PhaseGenerator {
+    rng: StdRng,
+    period: f64,
+    variability: f64,
+    /// Phase offset so co-scheduled copies of one benchmark don't move in
+    /// lock-step.
+    phase_offset: f64,
+    level: Level,
+    /// Mean dwell time in one Markov level, seconds.
+    mean_dwell: f64,
+    elapsed: f64,
+}
+
+impl PhaseGenerator {
+    /// Creates a generator for `profile`, deterministically derived from
+    /// `seed` and a per-core `stream` id.
+    pub fn new(profile: &BenchmarkProfile, seed: u64, stream: u64) -> Self {
+        // SplitMix-style mixing keeps streams decorrelated.
+        let mixed = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(stream.wrapping_mul(0xBF58476D1CE4E5B9))
+            ^ (profile.name.len() as u64).wrapping_mul(0x94D049BB133111EB);
+        let mut rng = StdRng::seed_from_u64(mixed);
+        let phase_offset = rng.gen::<f64>() * std::f64::consts::TAU;
+        Self {
+            rng,
+            period: profile.phase_period,
+            variability: profile.variability,
+            phase_offset,
+            level: Level::Nominal,
+            mean_dwell: (profile.phase_period * 2.0).max(0.01),
+            elapsed: 0.0,
+        }
+    }
+
+    /// Advances time by `dt` and returns the sample governing the elapsed
+    /// interval.
+    pub fn advance(&mut self, dt: Seconds) -> PhaseSample {
+        let dt = dt.value();
+        assert!(dt >= 0.0, "time cannot run backwards");
+        self.elapsed += dt;
+
+        // Markov level switching: geometric dwell with mean `mean_dwell`.
+        let p_switch = (dt / self.mean_dwell).min(1.0);
+        if self.rng.gen::<f64>() < p_switch {
+            self.level = match self.rng.gen_range(0..3) {
+                0 => Level::Low,
+                1 => Level::Nominal,
+                _ => Level::High,
+            };
+        }
+
+        // Periodic component.
+        let periodic = if self.period > 0.0 {
+            (std::f64::consts::TAU * self.elapsed / self.period + self.phase_offset).sin()
+        } else {
+            0.0
+        };
+
+        // Jitter.
+        let jitter = self.rng.gen_range(-1.0..=1.0) * 0.15;
+
+        // Blend: periodic 50 %, Markov 35 %, jitter 15 %, scaled to the
+        // profile's variability.
+        let x = (0.50 * periodic + 0.35 * self.level.intensity() + jitter) * self.variability;
+
+        // Intensity x > 0 = "hot" phase: more ILP (lower CPI), more memory
+        // traffic, higher activity. Keep multipliers positive.
+        PhaseSample {
+            cpi_scale: (1.0 - 0.6 * x).max(0.2),
+            mem_scale: (1.0 + x).max(0.05),
+            activity_scale: (1.0 + 0.5 * x).clamp(0.2, 1.25),
+        }
+    }
+
+    /// Total simulated time this generator has covered.
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parsec;
+
+    fn gen_for(seed: u64, stream: u64) -> PhaseGenerator {
+        PhaseGenerator::new(&parsec::x264(), seed, stream)
+    }
+
+    fn run(generator: &mut PhaseGenerator, n: usize) -> Vec<PhaseSample> {
+        (0..n)
+            .map(|_| generator.advance(Seconds::from_ms(0.5)))
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a = run(&mut gen_for(7, 0), 200);
+        let b = run(&mut gen_for(7, 0), 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_streams_decorrelate() {
+        let a = run(&mut gen_for(7, 0), 200);
+        let b = run(&mut gen_for(7, 1), 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn samples_stay_positive_and_bounded() {
+        let samples = run(&mut gen_for(3, 5), 2000);
+        for s in samples {
+            assert!(s.cpi_scale > 0.0 && s.cpi_scale < 2.0);
+            assert!(s.mem_scale > 0.0 && s.mem_scale < 2.0);
+            assert!((0.2..=1.25).contains(&s.activity_scale));
+        }
+    }
+
+    #[test]
+    fn variability_controls_spread() {
+        // x264 (var 0.30) must wander more than blackscholes (var 0.08).
+        let spread = |p: &BenchmarkProfile| {
+            let mut g = PhaseGenerator::new(p, 11, 0);
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| g.advance(Seconds::from_ms(0.5)).mem_scale)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let hi = spread(&parsec::x264());
+        let lo = spread(&parsec::blackscholes());
+        assert!(hi > 2.0 * lo, "x264 σ={hi} vs blackscholes σ={lo}");
+    }
+
+    #[test]
+    fn mean_stays_near_neutral() {
+        let mut g = gen_for(13, 2);
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| g.advance(Seconds::from_ms(0.5)).mem_scale)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 1.0).abs() < 0.08, "mean mem_scale {mean}");
+    }
+
+    #[test]
+    fn elapsed_tracks_time() {
+        let mut g = gen_for(1, 0);
+        run(&mut g, 100);
+        assert!((g.elapsed().ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_actually_vary_over_time() {
+        let samples = run(&mut gen_for(5, 3), 500);
+        let distinct: std::collections::BTreeSet<u64> =
+            samples.iter().map(|s| (s.mem_scale * 1e6) as u64).collect();
+        assert!(distinct.len() > 100, "phases should not be constant");
+    }
+}

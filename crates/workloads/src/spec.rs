@@ -1,0 +1,134 @@
+//! The four SPEC CPU2000 benchmarks used by the thermal-aware study.
+//!
+//! §IV-A evaluates the thermal policy "using only cpu-bound applications
+//! i.e., mesa, bzip, gcc and sixtrack, with each core running an
+//! application" on an 8-core, one-core-per-island CMP (Fig. 18(a)). All
+//! four are CPU-bound — exactly the workloads that create hotspots when
+//! provisioned greedily.
+
+use crate::profile::{BenchmarkProfile, InputSet};
+
+const MB: u64 = 1 << 20;
+
+/// `mesa` — software 3-D rendering (FP, regular).
+pub fn mesa() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "mesa",
+        short: "mesa",
+        description: "software OpenGL rendering (SPEC CPU2000 FP)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.85,
+        l1_mpki: 6.0,
+        l2_mpki: 0.30,
+        activity: 0.85,
+        working_set: 8 * MB,
+        stream_fraction: 0.45,
+        phase_period: 0.050,
+        variability: 0.12,
+    }
+}
+
+/// `bzip2` — compression (integer, moderate memory pressure).
+pub fn bzip2() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "bzip2",
+        short: "bzip",
+        description: "Burrows-Wheeler compression (SPEC CPU2000 INT)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.0,
+        l1_mpki: 9.0,
+        l2_mpki: 0.90,
+        activity: 0.80,
+        working_set: 16 * MB,
+        stream_fraction: 0.35,
+        phase_period: 0.070,
+        variability: 0.18,
+    }
+}
+
+/// `gcc` — compiler (integer, branchy).
+pub fn gcc() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "gcc",
+        short: "gcc",
+        description: "C compiler (SPEC CPU2000 INT)",
+        input: InputSet::SimLarge,
+        base_cpi: 1.10,
+        l1_mpki: 11.0,
+        l2_mpki: 1.00,
+        activity: 0.75,
+        working_set: 24 * MB,
+        stream_fraction: 0.20,
+        phase_period: 0.060,
+        variability: 0.25,
+    }
+}
+
+/// `sixtrack` — particle tracking (FP, very core-bound).
+pub fn sixtrack() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "sixtrack",
+        short: "sixtrack",
+        description: "particle accelerator tracking (SPEC CPU2000 FP)",
+        input: InputSet::SimLarge,
+        base_cpi: 0.75,
+        l1_mpki: 3.0,
+        l2_mpki: 0.10,
+        activity: 0.90,
+        working_set: 2 * MB,
+        stream_fraction: 0.50,
+        phase_period: 0.045,
+        variability: 0.06,
+    }
+}
+
+/// The Fig. 18(a) roster in core order: mesa, bzip, gcc, sixtrack repeated
+/// across the 8 cores.
+pub fn thermal_roster() -> Vec<BenchmarkProfile> {
+    vec![
+        mesa(),
+        bzip2(),
+        gcc(),
+        sixtrack(),
+        mesa(),
+        bzip2(),
+        gcc(),
+        sixtrack(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadClass;
+
+    #[test]
+    fn all_four_are_cpu_bound() {
+        for p in [mesa(), bzip2(), gcc(), sixtrack()] {
+            assert_eq!(p.class(), WorkloadClass::CpuBound, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn thermal_roster_matches_fig18a() {
+        let r = thermal_roster();
+        assert_eq!(r.len(), 8);
+        assert_eq!(r[0].short, "mesa");
+        assert_eq!(r[1].short, "bzip");
+        assert_eq!(r[2].short, "gcc");
+        assert_eq!(r[3].short, "sixtrack");
+        // Second half mirrors the first.
+        for i in 0..4 {
+            assert_eq!(r[i].short, r[i + 4].short);
+        }
+    }
+
+    #[test]
+    fn sixtrack_is_the_most_core_bound() {
+        let min = thermal_roster()
+            .into_iter()
+            .min_by(|a, b| a.l2_mpki.partial_cmp(&b.l2_mpki).unwrap())
+            .unwrap();
+        assert_eq!(min.short, "sixtrack");
+    }
+}

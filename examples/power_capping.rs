@@ -1,0 +1,53 @@
+//! Rack-level power capping: the chip budget changes at runtime.
+//!
+//! Data-center power managers re-provision per-socket budgets as rack
+//! conditions change (§I motivates CMP capping from exactly this setting).
+//! This example steps the chip budget 90 % → 70 % → 85 % and shows the
+//! two-tier controller re-acquiring each new cap within a GPM interval or
+//! two.
+//!
+//! ```text
+//! cargo run --release --example power_capping
+//! ```
+
+use cpm::prelude::*;
+use cpm_units::Ratio;
+
+fn main() {
+    let config = ExperimentConfig::paper_default().with_budget_percent(90.0);
+    let mut coordinator = Coordinator::new(config).expect("valid configuration");
+
+    println!("phase 1: budget 90 % of chip requirement");
+    let phase1 = coordinator.run_for_gpm_intervals(20);
+    report("  90 %", &phase1);
+
+    // The rack manager pulls this socket down to 70 %.
+    coordinator.set_budget_fraction(Ratio::from_percent(70.0));
+    println!("\nphase 2: budget dropped to 70 %");
+    let phase2 = coordinator.run_for_gpm_intervals(20);
+    report("  70 %", &phase2);
+
+    // Emergency over; most of the budget returns.
+    coordinator.set_budget_fraction(Ratio::from_percent(85.0));
+    println!("\nphase 3: budget restored to 85 %");
+    let phase3 = coordinator.run_for_gpm_intervals(20);
+    report("  85 %", &phase3);
+
+    println!(
+        "\nthroughput across phases: {:.2} / {:.2} / {:.2} BIPS — \
+         performance follows the power envelope, never the other way around",
+        phase1.mean_bips(),
+        phase2.mean_bips(),
+        phase3.mean_bips()
+    );
+}
+
+fn report(label: &str, outcome: &cpm::core::coordinator::Outcome) {
+    let t = outcome.chip_tracking_error();
+    println!(
+        "{label}: mean chip power {:.2} % (target {:.1} %), max overshoot {:.2} %",
+        outcome.mean_chip_power_percent(),
+        outcome.budget_percent(),
+        t.max_overshoot_percent
+    );
+}

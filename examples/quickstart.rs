@@ -1,0 +1,61 @@
+//! Quickstart: cap an 8-core CMP at 80 % of its power requirement with the
+//! paper's two-tier GPM + PIC architecture and inspect how well it tracks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cpm::prelude::*;
+use cpm_units::IslandId;
+
+fn main() {
+    // The paper's default experiment: 8 out-of-order cores in 4
+    // voltage/frequency islands, PARSEC Mix-1 (one CPU-bound + one
+    // memory-bound app per island), 80 % chip power budget, PID gains
+    // (0.4, 0.4, 0.3), transducer-based power sensing.
+    let config = ExperimentConfig::paper_default();
+    let mut coordinator = Coordinator::new(config).expect("valid configuration");
+
+    println!(
+        "chip: required power {:.1} W, theoretical max {:.1} W, budget {:.1} W",
+        coordinator.reference_power().value(),
+        coordinator.chip().max_power().value(),
+        coordinator.budget().value()
+    );
+
+    // Run 40 GPM intervals (200 ms of simulated time, 400 PIC invocations).
+    let outcome = coordinator.run_for_gpm_intervals(40);
+
+    let tracking = outcome.chip_tracking_error();
+    println!(
+        "\nchip power: mean {:.2} % of requirement (budget {:.1} %)",
+        outcome.mean_chip_power_percent(),
+        outcome.budget_percent()
+    );
+    println!(
+        "tracking:   max overshoot {:.2} %, max undershoot {:.2} %, mean |error| {:.2} %",
+        tracking.max_overshoot_percent,
+        tracking.max_undershoot_percent,
+        tracking.mean_abs_error_percent
+    );
+
+    println!("\nper-island tracking of the GPM allocations:");
+    for i in 0..4 {
+        let t = outcome.island_tracking_error(IslandId(i));
+        let r2 = outcome.transducer_r2[i]
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  island {}: mean |error| {:.2} % of target, sensor fit R² = {}",
+            i + 1,
+            t.mean_abs_error_percent,
+            r2
+        );
+    }
+
+    println!(
+        "\nthroughput: {:.2} BIPS over {:.0} ms of simulated execution",
+        outcome.mean_bips(),
+        outcome.measured_time.ms()
+    );
+}

@@ -1,0 +1,69 @@
+//! The §IV-A scenario: avoid hotspots by constraining how much power
+//! physically adjacent islands may hold for consecutive intervals.
+//!
+//! Runs the SPEC roster (mesa/bzip2/gcc/sixtrack ×2) on eight single-core
+//! islands twice — under the plain performance-aware policy and under the
+//! thermal-aware wrapper — and compares peak temperature, constraint
+//! violations, and the performance price of thermal safety.
+//!
+//! ```text
+//! cargo run --release --example thermal_policy
+//! ```
+
+use cpm::core::coordinator::PolicyKind;
+use cpm::core::policies::thermal::ThermalConstraints;
+use cpm::prelude::*;
+
+fn main() {
+    let constraints = ThermalConstraints::paper_eight_island();
+    println!(
+        "constraints: adjacent pair ≤ {:.0} % of budget for {} consecutive GPM intervals,",
+        constraints.pair_cap * 100.0,
+        constraints.pair_streak
+    );
+    println!(
+        "             single island ≤ {:.0} % for {} consecutive intervals\n",
+        constraints.single_cap * 100.0,
+        constraints.single_streak
+    );
+
+    let mut base_cfg = ExperimentConfig::paper_default();
+    base_cfg.mix = Mix::Thermal;
+    base_cfg.cmp = CmpConfig::with_topology(8, 1);
+
+    // Performance-aware: maximizes throughput, ignores the floorplan.
+    let perf = Coordinator::new(base_cfg.clone())
+        .expect("valid configuration")
+        .run_for_gpm_intervals(40);
+
+    // Thermal-aware: same inner policy, wrapped with the constraints.
+    let mut thermal_coord = Coordinator::new(
+        base_cfg.with_scheme(ManagementScheme::Cpm(PolicyKind::Thermal(constraints))),
+    )
+    .expect("valid configuration");
+    let thermal = thermal_coord.run_for_gpm_intervals(40);
+    let stats = thermal_coord
+        .thermal_stats()
+        .expect("thermal policy active");
+
+    println!(
+        "performance-aware: {:.2} BIPS, peak die temperature {:.1} °C",
+        perf.mean_bips(),
+        perf.peak_temperature.max().unwrap_or(0.0)
+    );
+    println!(
+        "thermal-aware:     {:.2} BIPS, peak die temperature {:.1} °C",
+        thermal.mean_bips(),
+        thermal.peak_temperature.max().unwrap_or(0.0)
+    );
+    println!(
+        "\nthermal-aware constraint violations: {} of {} GPM intervals ({:.1} %)",
+        stats.violated_intervals,
+        stats.intervals,
+        stats.violation_fraction() * 100.0
+    );
+    println!(
+        "throughput cost of thermal safety: {:.2} %",
+        (1.0 - thermal.mean_bips() / perf.mean_bips()) * 100.0
+    );
+}

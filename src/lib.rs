@@ -1,0 +1,48 @@
+//! # CPM — Coordinated Power Management in Chip-Multiprocessors
+//!
+//! Façade crate re-exporting the whole workspace under one roof. This is a
+//! from-scratch reproduction of *"CPM in CMPs: Coordinated Power Management
+//! in Chip-Multiprocessors"* (Mishra, Srikantaiah, Kandemir, Das — SC 2010),
+//! including the full simulation substrate the paper ran on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cpm::prelude::*;
+//!
+//! // An 8-core CMP with 4 two-core voltage/frequency islands running the
+//! // paper's Mix-1 PARSEC workloads under an 80 % chip power budget.
+//! let config = ExperimentConfig::paper_default();
+//! let mut coordinator = Coordinator::new(config).expect("valid config");
+//! let outcome = coordinator.run_for_gpm_intervals(20);
+//!
+//! // The two-tier controller tracks the chip budget closely.
+//! let track = outcome.chip_tracking_error();
+//! assert!(track.max_overshoot_percent < 10.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`units`] | `cpm-units` | typed quantities (Hz, V, W, J, s, °C) and ids |
+//! | [`control`] | `cpm-control` | polynomials, z-domain TFs, PID, system ID |
+//! | [`power`] | `cpm-power` | Wattch/HotLeakage-style power models, DVFS |
+//! | [`thermal`] | `cpm-thermal` | RC thermal grid, hotspot tracking |
+//! | [`workloads`] | `cpm-workloads` | PARSEC/SPEC profiles, phases, mixes |
+//! | [`sim`] | `cpm-sim` | interval-accurate CMP simulator |
+//! | [`core`] | `cpm-core` | GPM policies, PIC, MaxBIPS, coordinator |
+
+pub use cpm_control as control;
+pub use cpm_core as core;
+pub use cpm_power as power;
+pub use cpm_sim as sim;
+pub use cpm_thermal as thermal;
+pub use cpm_units as units;
+pub use cpm_workloads as workloads;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use cpm_core::prelude::*;
+    pub use cpm_units::prelude::*;
+}

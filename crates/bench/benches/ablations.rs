@@ -10,13 +10,11 @@
 //! 4. closed-loop CPM vs open-loop MaxBIPS,
 //! 5. fixed vs adaptive plant gain (under deliberate misidentification).
 
+use cpm_bench::microbench::{black_box, Bench};
 use cpm_control::PidGains;
 use cpm_core::coordinator::run_with_baseline;
 use cpm_core::prelude::*;
 use cpm_workloads::WorkloadAssignment;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
 
 fn quality(cfg: ExperimentConfig) -> (f64, f64) {
     let (m, b) = run_with_baseline(cfg, 15).expect("valid");
@@ -26,53 +24,49 @@ fn quality(cfg: ExperimentConfig) -> (f64, f64) {
     )
 }
 
-static PRINT_QUALITY: Once = Once::new();
-
 fn print_quality_table() {
-    PRINT_QUALITY.call_once(|| {
-        println!("\n--- ablation quality (mean |tracking error| %, degradation %) ---");
-        for (label, gains) in [
-            ("P   (0.4, 0, 0)", PidGains::p_only(0.4)),
-            ("PI  (0.4, 0.4, 0)", PidGains::pi(0.4, 0.4)),
-            ("PID (0.4, 0.4, 0.3)", PidGains::paper()),
-        ] {
-            let mut cfg = ExperimentConfig::paper_default();
-            cfg.pid_gains = gains;
-            let (track, deg) = quality(cfg);
-            println!("  control {label}: tracking {track:.2} %, degradation {deg:.2} %");
-        }
-        for sensor in [SensorMode::Transducer, SensorMode::Oracle] {
-            let mut cfg = ExperimentConfig::paper_default();
-            cfg.sensor = sensor;
-            let (track, deg) = quality(cfg);
-            println!("  sensor {sensor:?}: tracking {track:.2} %, degradation {deg:.2} %");
-        }
-        for width in [1usize, 2, 4] {
-            let base = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
-            let cfg = ExperimentConfig::paper_default()
-                .with_assignment(WorkloadAssignment::new(base.profiles().to_vec(), width));
-            let (track, deg) = quality(cfg);
-            println!("  width {width} cores/island: tracking {track:.2} %, degradation {deg:.2} %");
-        }
-        for (label, gain, adaptive) in [
-            ("fixed a=0.79 (nominal)", 0.79, false),
-            ("fixed a=0.40 (misidentified)", 0.40, false),
-            ("adaptive from a=0.40", 0.40, true),
-        ] {
-            let mut cfg = ExperimentConfig::paper_default();
-            cfg.plant_gain = gain;
-            cfg.adaptive_gain = adaptive;
-            let (track, deg) = quality(cfg);
-            println!("  gain {label}: tracking {track:.2} %, degradation {deg:.2} %");
-        }
-        println!("-----------------------------------------------------------------\n");
-    });
+    println!("\n--- ablation quality (mean |tracking error| %, degradation %) ---");
+    for (label, gains) in [
+        ("P   (0.4, 0, 0)", PidGains::p_only(0.4)),
+        ("PI  (0.4, 0.4, 0)", PidGains::pi(0.4, 0.4)),
+        ("PID (0.4, 0.4, 0.3)", PidGains::paper()),
+    ] {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.pid_gains = gains;
+        let (track, deg) = quality(cfg);
+        println!("  control {label}: tracking {track:.2} %, degradation {deg:.2} %");
+    }
+    for sensor in [SensorMode::Transducer, SensorMode::Oracle] {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.sensor = sensor;
+        let (track, deg) = quality(cfg);
+        println!("  sensor {sensor:?}: tracking {track:.2} %, degradation {deg:.2} %");
+    }
+    for width in [1usize, 2, 4] {
+        let base = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
+        let cfg = ExperimentConfig::paper_default()
+            .with_assignment(WorkloadAssignment::new(base.profiles().to_vec(), width));
+        let (track, deg) = quality(cfg);
+        println!("  width {width} cores/island: tracking {track:.2} %, degradation {deg:.2} %");
+    }
+    for (label, gain, adaptive) in [
+        ("fixed a=0.79 (nominal)", 0.79, false),
+        ("fixed a=0.40 (misidentified)", 0.40, false),
+        ("adaptive from a=0.40", 0.40, true),
+    ] {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plant_gain = gain;
+        cfg.adaptive_gain = adaptive;
+        let (track, deg) = quality(cfg);
+        println!("  gain {label}: tracking {track:.2} %, degradation {deg:.2} %");
+    }
+    println!("-----------------------------------------------------------------\n");
 }
 
-fn bench_scheme_cost(c: &mut Criterion) {
+fn main() {
     print_quality_table();
-    let mut group = c.benchmark_group("coordinated_gpm_interval");
-    group.sample_size(10);
+    let mut b = Bench::new("ablations");
+
     for (label, scheme) in [
         (
             "cpm",
@@ -81,32 +75,25 @@ fn bench_scheme_cost(c: &mut Criterion) {
         ("maxbips", ManagementScheme::MaxBips),
         ("none", ManagementScheme::NoManagement),
     ] {
-        group.bench_function(label, |b| {
-            // Cost of one additional GPM interval on a warm coordinator.
-            let mut coord =
-                Coordinator::new(ExperimentConfig::paper_default().with_scheme(scheme.clone()))
-                    .expect("valid");
-            coord.run_for_gpm_intervals(2); // warm up + calibrate
-            b.iter(|| black_box(coord.run_for_gpm_intervals(1)));
+        // Cost of one additional GPM interval on a warm coordinator.
+        let mut coord =
+            Coordinator::new(ExperimentConfig::paper_default().with_scheme(scheme.clone()))
+                .expect("valid");
+        coord.run_for_gpm_intervals(2); // warm up + calibrate
+        b.bench(&format!("coordinated_gpm_interval/{label}"), move || {
+            black_box(coord.run_for_gpm_intervals(1))
         });
     }
-    group.finish();
-}
 
-fn bench_sensor_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sensor_mode_gpm_interval");
-    group.sample_size(10);
     for sensor in [SensorMode::Transducer, SensorMode::Oracle] {
         let mut cfg = ExperimentConfig::paper_default();
         cfg.sensor = sensor;
-        group.bench_function(format!("{sensor:?}"), |b| {
-            let mut coord = Coordinator::new(cfg.clone()).expect("valid");
-            coord.run_for_gpm_intervals(2);
-            b.iter(|| black_box(coord.run_for_gpm_intervals(1)));
+        let mut coord = Coordinator::new(cfg).expect("valid");
+        coord.run_for_gpm_intervals(2);
+        b.bench(&format!("sensor_mode_gpm_interval/{sensor:?}"), move || {
+            black_box(coord.run_for_gpm_intervals(1))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_scheme_cost, bench_sensor_cost);
-criterion_main!(benches);
+    b.finish();
+}

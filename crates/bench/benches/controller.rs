@@ -3,28 +3,26 @@
 //! several island counts. These bound the runtime overhead the scheme
 //! would impose on a real power-management firmware.
 
+use cpm_bench::microbench::{black_box, Bench};
 use cpm_control::{Pid, PidGains};
 use cpm_core::gpm::{GlobalPowerManager, IslandFeedback, IslandRange};
 use cpm_core::pic::{PerIslandController, PicSensor};
 use cpm_core::policies::performance::PerformanceAware;
 use cpm_power::dvfs::DvfsTable;
 use cpm_units::{IslandId, Ratio, Watts};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_pid_step(c: &mut Criterion) {
-    c.bench_function("pid_step", |b| {
+fn main() {
+    let mut b = Bench::new("controller");
+
+    {
         let mut pid = Pid::new(PidGains::paper()).with_integral_limit(2.0);
         let mut e = 0.1f64;
-        b.iter(|| {
+        b.bench("pid_step", move || {
             e = -e * 0.99;
             black_box(pid.step(black_box(e)))
         });
-    });
-}
+    }
 
-fn bench_pic_invoke(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pic_invoke");
     for sensor in [PicSensor::Oracle, PicSensor::Transducer] {
         let mut pic = PerIslandController::new(
             IslandId(0),
@@ -39,19 +37,13 @@ fn bench_pic_invoke(c: &mut Criterion) {
             pic.observe_calibration(Ratio::new(u), Watts::new(20.0 * u + 4.0));
         }
         pic.set_target(Watts::new(15.0));
-        group.bench_function(format!("{sensor:?}"), |b| {
-            let mut p = 14.0f64;
-            b.iter(|| {
-                p = 14.0 + (p * 17.0) % 3.0;
-                black_box(pic.invoke(Ratio::new(0.6), Watts::new(black_box(p))))
-            });
+        let mut p = 14.0f64;
+        b.bench(&format!("pic_invoke/{sensor:?}"), move || {
+            p = 14.0 + (p * 17.0) % 3.0;
+            black_box(pic.invoke(Ratio::new(0.6), Watts::new(black_box(p))))
         });
     }
-    group.finish();
-}
 
-fn bench_gpm_provision(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpm_provision");
     for islands in [4usize, 8, 32] {
         let ranges = vec![
             IslandRange {
@@ -76,17 +68,10 @@ fn bench_gpm_provision(c: &mut Criterion) {
                 peak_temperature: 60.0,
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(islands), &feedback, |b, fb| {
-            b.iter(|| black_box(gpm.provision(black_box(fb))))
+        b.bench(&format!("gpm_provision/{islands}"), move || {
+            black_box(gpm.provision(black_box(&feedback)))
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_pid_step,
-    bench_pic_invoke,
-    bench_gpm_provision
-);
-criterion_main!(benches);
+    b.finish();
+}

@@ -2,11 +2,10 @@
 //! count while the exhaustive reference explodes — the reason the paper
 //! notes per-core global search "will be prohibitively expensive" at scale.
 
+use cpm_bench::microbench::{black_box, Bench};
 use cpm_core::maxbips::{MaxBips, MaxBipsObservation};
 use cpm_power::dvfs::DvfsTable;
 use cpm_units::Watts;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 fn observations(n: usize) -> Vec<MaxBipsObservation> {
     (0..n)
@@ -19,45 +18,36 @@ fn observations(n: usize) -> Vec<MaxBipsObservation> {
         .collect()
 }
 
-fn bench_dp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxbips_dp");
-    let mb = MaxBips::new(DvfsTable::pentium_m());
+fn main() {
+    let mut b = Bench::new("maxbips");
+
     for islands in [2usize, 4, 8, 16, 32] {
         let obs = observations(islands);
         let budget = Watts::new(16.0 * islands as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(islands), &obs, |b, o| {
-            b.iter(|| black_box(mb.choose(budget, black_box(o))))
+        let mb = MaxBips::new(DvfsTable::pentium_m());
+        b.bench(&format!("maxbips_dp/{islands}"), move || {
+            black_box(mb.choose(budget, black_box(&obs)))
         });
     }
-    group.finish();
-}
 
-fn bench_exhaustive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxbips_exhaustive");
-    group.sample_size(10);
-    let mb = MaxBips::new(DvfsTable::pentium_m());
     for islands in [2usize, 4, 6] {
         let obs = observations(islands);
         let budget = Watts::new(16.0 * islands as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(islands), &obs, |b, o| {
-            b.iter(|| black_box(mb.choose_exhaustive(budget, black_box(o))))
+        let mb = MaxBips::new(DvfsTable::pentium_m());
+        b.bench(&format!("maxbips_exhaustive/{islands}"), move || {
+            black_box(mb.choose_exhaustive(budget, black_box(&obs)))
         });
     }
-    group.finish();
-}
 
-fn bench_dp_bin_width(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxbips_dp_bin_width");
     let obs = observations(8);
     let budget = Watts::new(130.0);
     for bin in [0.05f64, 0.1, 0.5, 1.0] {
         let mb = MaxBips::new(DvfsTable::pentium_m()).with_bin_watts(bin);
-        group.bench_with_input(BenchmarkId::from_parameter(bin), &obs, |b, o| {
-            b.iter(|| black_box(mb.choose(budget, black_box(o))))
+        let obs = obs.clone();
+        b.bench(&format!("maxbips_dp_bin_width/{bin}"), move || {
+            black_box(mb.choose(budget, black_box(&obs)))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_dp, bench_exhaustive, bench_dp_bin_width);
-criterion_main!(benches);
+    b.finish();
+}

@@ -2,86 +2,66 @@
 //! analysis), transfer-function simulation, and the regression fits that
 //! back the transducer and the plant identification.
 
+use cpm_bench::microbench::{black_box, Bench};
 use cpm_control::sysid::{LinearRegression, QuadraticRegression};
 use cpm_control::{closed_loop, PidGains, Polynomial};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_root_finding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("polynomial_roots");
+fn main() {
+    let mut b = Bench::new("numerics");
+
     for degree in [3usize, 6, 10] {
         let roots: Vec<f64> = (0..degree)
             .map(|k| -0.9 + 1.7 * k as f64 / degree as f64)
             .collect();
         let p = Polynomial::from_roots(&roots);
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &p, |b, poly| {
-            b.iter(|| black_box(cpm_control::roots::roots(black_box(poly))))
+        b.bench(&format!("polynomial_roots/{degree}"), move || {
+            black_box(cpm_control::roots::roots(black_box(&p)))
         });
     }
-    group.finish();
-}
 
-fn bench_closed_loop_analysis(c: &mut Criterion) {
-    c.bench_function("closed_loop_poles", |b| {
-        b.iter(|| {
-            let cl = closed_loop(PidGains::paper(), black_box(0.79));
-            black_box(cl.poles())
-        })
+    b.bench("closed_loop_poles", || {
+        let cl = closed_loop(PidGains::paper(), black_box(0.79));
+        black_box(cl.poles())
     });
-    c.bench_function("gain_margin_search", |b| {
-        b.iter(|| {
-            black_box(cpm_control::analysis::gain_margin(
-                PidGains::paper(),
-                black_box(0.79),
-                1e-3,
-            ))
-        })
+    b.bench("gain_margin_search", || {
+        black_box(cpm_control::analysis::gain_margin(
+            PidGains::paper(),
+            black_box(0.79),
+            1e-3,
+        ))
     });
-}
 
-fn bench_step_response(c: &mut Criterion) {
     let cl = closed_loop(PidGains::paper(), 0.79);
-    let mut group = c.benchmark_group("step_response");
     for len in [100usize, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &n| {
-            b.iter(|| black_box(cl.step_response(n)))
+        let cl = cl.clone();
+        b.bench(&format!("step_response/{len}"), move || {
+            black_box(cl.step_response(len))
         });
     }
-    group.finish();
-}
 
-fn bench_regressions(c: &mut Criterion) {
     let data: Vec<(f64, f64)> = (0..256)
         .map(|i| {
             let x = i as f64 / 256.0;
             (x, 20.0 * x + 5.0 + ((i * 37) % 11) as f64 * 0.01)
         })
         .collect();
-    c.bench_function("linear_regression_fit_256", |b| {
-        b.iter(|| {
+    {
+        let data = data.clone();
+        b.bench("linear_regression_fit_256", move || {
             let mut r = LinearRegression::new();
             for &(x, y) in &data {
                 r.add(x, y);
             }
             black_box(r.fit())
-        })
+        });
+    }
+    b.bench("quadratic_regression_fit_256", move || {
+        let mut r = QuadraticRegression::new();
+        for &(x, y) in &data {
+            r.add(x, y);
+        }
+        black_box(r.fit())
     });
-    c.bench_function("quadratic_regression_fit_256", |b| {
-        b.iter(|| {
-            let mut r = QuadraticRegression::new();
-            for &(x, y) in &data {
-                r.add(x, y);
-            }
-            black_box(r.fit())
-        })
-    });
-}
 
-criterion_group!(
-    benches,
-    bench_root_finding,
-    bench_closed_loop_analysis,
-    bench_step_response,
-    bench_regressions
-);
-criterion_main!(benches);
+    b.finish();
+}

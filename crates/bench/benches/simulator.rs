@@ -2,15 +2,15 @@
 //! One `chip_step` covers a full 0.5 ms PIC interval (all cores + power +
 //! thermal), so simulated-time / wall-time ≈ 0.5 ms / reported time.
 
+use cpm_bench::microbench::{black_box, Bench};
 use cpm_sim::{cache::Hierarchy, Chip, CmpConfig};
 use cpm_thermal::{Floorplan, ThermalGrid, ThermalParams};
 use cpm_units::{Seconds, Watts};
 use cpm_workloads::{parsec, AddressStream, Mix, PhaseGenerator, WorkloadAssignment};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_chip_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chip_step");
+fn main() {
+    let mut b = Bench::new("simulator");
+
     for (cores, width, mix) in [
         (8usize, 2usize, Mix::Mix1),
         (16, 4, Mix::Mix3),
@@ -19,60 +19,45 @@ fn bench_chip_step(c: &mut Criterion) {
         let cfg = CmpConfig::with_topology(cores, width);
         let assignment = WorkloadAssignment::paper_mix(mix, cores);
         let mut chip = Chip::new(cfg, &assignment);
-        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
-            b.iter(|| black_box(chip.step_pic()))
+        b.bench(&format!("chip_step/{cores}"), move || {
+            black_box(chip.step_pic())
         });
     }
-    group.finish();
-}
 
-fn bench_cache_hierarchy(c: &mut Criterion) {
-    let cfg = CmpConfig::paper_default().cache;
-    let mut h = Hierarchy::new(&cfg);
-    let mut stream = AddressStream::new(&parsec::canneal(), 42);
-    let addrs = stream.take(4096);
-    let mut k = 0usize;
-    c.bench_function("cache_hierarchy_access", |b| {
-        b.iter(|| {
+    {
+        let cfg = CmpConfig::paper_default().cache;
+        let mut h = Hierarchy::new(&cfg);
+        let mut stream = AddressStream::new(&parsec::canneal(), 42);
+        let addrs = stream.take(4096);
+        let mut k = 0usize;
+        b.bench("cache_hierarchy_access", move || {
             k = (k + 1) & 4095;
             black_box(h.access(black_box(addrs[k])))
-        })
-    });
-}
+        });
+    }
 
-fn bench_address_stream(c: &mut Criterion) {
-    let mut stream = AddressStream::new(&parsec::streamcluster(), 7);
-    c.bench_function("address_stream_next", |b| {
-        b.iter(|| black_box(stream.next_address()))
-    });
-}
+    {
+        let mut stream = AddressStream::new(&parsec::streamcluster(), 7);
+        b.bench("address_stream_next", move || {
+            black_box(stream.next_address())
+        });
+    }
 
-fn bench_phase_generator(c: &mut Criterion) {
-    let mut g = PhaseGenerator::new(&parsec::x264(), 11, 0);
-    c.bench_function("phase_advance", |b| {
-        b.iter(|| black_box(g.advance(Seconds::from_ms(0.5))))
-    });
-}
+    {
+        let mut g = PhaseGenerator::new(&parsec::x264(), 11, 0);
+        b.bench("phase_advance", move || {
+            black_box(g.advance(Seconds::from_ms(0.5)))
+        });
+    }
 
-fn bench_thermal_grid(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thermal_step");
     for cores in [8usize, 32] {
         let mut grid =
             ThermalGrid::new(Floorplan::for_cores(cores), ThermalParams::paper_default());
         let powers = vec![Watts::new(8.0); cores];
-        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, _| {
-            b.iter(|| grid.step(black_box(&powers), Seconds::from_ms(0.5)))
+        b.bench(&format!("thermal_step/{cores}"), move || {
+            grid.step(black_box(&powers), Seconds::from_ms(0.5))
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_chip_step,
-    bench_cache_hierarchy,
-    bench_address_stream,
-    bench_phase_generator,
-    bench_thermal_grid
-);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,37 +1,74 @@
 //! Experiment driver: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>      run one experiment (table1 … fig19)
-//! experiments all       run everything in paper order
-//! experiments list      list experiment ids
+//! experiments <id> [<id> …]   run the named experiments (table1 … fig19)
+//! experiments all             run everything in paper order, in parallel
+//! experiments list            list experiment ids
 //! ```
+//!
+//! `all` fans the experiments out on the shared worker pool (`CPM_WORKERS`
+//! sets the width; default: available parallelism) and reduces results in
+//! paper order, so **stdout is byte-identical for any worker count** — the
+//! CI determinism gate diffs it across `CPM_WORKERS=1` and `=4`. Progress
+//! and timing go to stderr; the engine telemetry (per-experiment
+//! wall-clock, per-worker utilization) lands in `BENCH_experiments.json`
+//! (override the path with `CPM_BENCH_JSON`).
 
-use cpm_bench::{run_experiment, ALL_EXPERIMENTS};
+use cpm_bench::{run_all, run_experiment, sweep_json, ALL_EXPERIMENTS};
+
+fn run_one(id: &str) {
+    match run_experiment(id) {
+        Some(report) => print!("{report}"),
+        None => {
+            eprintln!("unknown experiment `{id}`; try `experiments list`");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
-    let arg = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "list".to_string());
-    match arg.as_str() {
-        "list" => {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
             println!("available experiments:");
             for id in ALL_EXPERIMENTS {
                 println!("  {id}");
             }
             println!("  all");
         }
-        "all" => {
-            for id in ALL_EXPERIMENTS {
-                eprintln!("[experiments] running {id} …");
-                print!("{}", run_experiment(id).expect("known id"));
+        Some("all") => {
+            let workers = cpm_runtime::Pool::global().workers().max(1);
+            eprintln!(
+                "[experiments] running {} experiments on {workers} worker(s) …",
+                ALL_EXPERIMENTS.len()
+            );
+            let sweep = run_all();
+            for (_, report) in &sweep.reports {
+                print!("{report}");
+            }
+            for t in &sweep.timings {
+                eprintln!("[experiments] {:<12} {:8.2}s", t.id, t.seconds);
+            }
+            eprintln!(
+                "[experiments] sweep total {:.2}s ({} jobs across {} contexts)",
+                sweep.total_seconds,
+                sweep.stats.total_jobs(),
+                sweep.stats.per_context.len()
+            );
+            let path = std::env::var("CPM_BENCH_JSON")
+                .unwrap_or_else(|_| "BENCH_experiments.json".to_string());
+            match std::fs::write(&path, sweep_json(&sweep)) {
+                Ok(()) => eprintln!("[experiments] telemetry written to {path}"),
+                Err(e) => {
+                    eprintln!("[experiments] failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
-        id => match run_experiment(id) {
-            Some(report) => print!("{report}"),
-            None => {
-                eprintln!("unknown experiment `{id}`; try `experiments list`");
-                std::process::exit(2);
+        Some(_) => {
+            for id in &args {
+                run_one(id);
             }
-        },
+        }
     }
 }

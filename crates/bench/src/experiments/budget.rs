@@ -1,8 +1,13 @@
 //! Figs. 11, 12, 14: budget curves and performance degradation.
+//!
+//! Every (budget × scheme) cell is an independent simulation — each builds
+//! its own `Coordinator` from a config, so the sweeps fan the cells out on
+//! the shared worker pool and reduce the results in budget order.
 
 use crate::report::{f, heading, Table};
 use cpm_core::coordinator::run_with_baseline;
 use cpm_core::prelude::*;
+use cpm_runtime::parallel_map;
 
 const BUDGETS: &[f64] = &[50.0, 60.0, 70.0, 80.0, 90.0, 95.0, 100.0];
 const ROUNDS: usize = 30;
@@ -11,19 +16,22 @@ const ROUNDS: usize = 30;
 pub fn fig11() -> String {
     let mut s = heading("Fig. 11 — budget curves: consumed power vs power budget");
     let mut t = Table::new(&["budget %", "CPM consumed %", "MaxBIPS consumed %"]);
-    for &b in BUDGETS {
-        let cfg = ExperimentConfig::paper_default().with_budget_percent(b);
-        let cpm = Coordinator::new(cfg.clone())
+    let cells: Vec<(f64, bool)> = BUDGETS
+        .iter()
+        .flat_map(|&b| [(b, false), (b, true)])
+        .collect();
+    let consumed = parallel_map(cells, |(b, maxbips)| {
+        let mut cfg = ExperimentConfig::paper_default().with_budget_percent(b);
+        if maxbips {
+            cfg = cfg.with_scheme(ManagementScheme::MaxBips);
+        }
+        Coordinator::new(cfg)
             .expect("valid")
-            .run_for_gpm_intervals(ROUNDS);
-        let mb = Coordinator::new(cfg.with_scheme(ManagementScheme::MaxBips))
-            .expect("valid")
-            .run_for_gpm_intervals(ROUNDS);
-        t.row(&[
-            f(b, 0),
-            f(cpm.mean_chip_power_percent(), 1),
-            f(mb.mean_chip_power_percent(), 1),
-        ]);
+            .run_for_gpm_intervals(ROUNDS)
+            .mean_chip_power_percent()
+    });
+    for (k, &b) in BUDGETS.iter().enumerate() {
+        t.row(&[f(b, 0), f(consumed[2 * k], 1), f(consumed[2 * k + 1], 1)]);
     }
     s.push_str(&t.render());
     s.push_str("\npaper: CPM closely tracks the budget; MaxBIPS is always below it (discrete knobs + open loop)\n");
@@ -34,10 +42,13 @@ pub fn fig11() -> String {
 pub fn fig12() -> String {
     let mut s = heading("Fig. 12 — performance degradation vs power target");
     let mut t = Table::new(&["budget %", "degradation %"]);
-    for &b in BUDGETS {
+    let degs = parallel_map(BUDGETS.to_vec(), |b| {
         let cfg = ExperimentConfig::paper_default().with_budget_percent(b);
         let (m, base) = run_with_baseline(cfg, ROUNDS).expect("valid");
-        t.row(&[f(b, 0), f(m.degradation_vs(&base), 2)]);
+        m.degradation_vs(&base)
+    });
+    for (&b, d) in BUDGETS.iter().zip(&degs) {
+        t.row(&[f(b, 0), f(*d, 2)]);
     }
     s.push_str(&t.render());
     s.push_str(

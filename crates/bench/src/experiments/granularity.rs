@@ -12,6 +12,7 @@ use crate::report::{f, heading, Table};
 use cpm_core::coordinator::run_with_baseline;
 use cpm_core::prelude::*;
 use cpm_power::dvfs::DvfsTable;
+use cpm_runtime::parallel_map;
 
 /// Runs the paper-default experiment with the V/F envelope re-sampled at
 /// several granularities.
@@ -23,17 +24,20 @@ pub fn granularity() -> String {
         "chip overshoot %",
         "degradation %",
     ]);
-    for n in [4usize, 8, 16, 32] {
+    let sizes = [4usize, 8, 16, 32];
+    let rows = parallel_map(sizes.to_vec(), |n| {
         let mut cfg = ExperimentConfig::paper_default();
         cfg.cmp.dvfs = DvfsTable::pentium_m_envelope(n);
         let (m, base) = run_with_baseline(cfg, 25).expect("valid");
         let tr = m.chip_tracking_error();
-        t.row(&[
-            n.to_string(),
-            f(tr.mean_abs_error_percent, 2),
-            f(tr.max_overshoot_percent, 2),
-            f(m.degradation_vs(&base), 2),
-        ]);
+        (
+            tr.mean_abs_error_percent,
+            tr.max_overshoot_percent,
+            m.degradation_vs(&base),
+        )
+    });
+    for (n, (err, over, deg)) in sizes.iter().zip(&rows) {
+        t.row(&[n.to_string(), f(*err, 2), f(*over, 2), f(*deg, 2)]);
     }
     s.push_str(&t.render());
     s.push_str(

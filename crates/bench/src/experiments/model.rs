@@ -2,6 +2,7 @@
 
 use crate::report::{f, heading, Table};
 use cpm_core::model;
+use cpm_runtime::parallel_map;
 use cpm_sim::{calibration, Chip, CmpConfig};
 use cpm_units::IslandId;
 use cpm_workloads::{parsec, WorkloadAssignment};
@@ -13,15 +14,23 @@ pub fn fig5() -> String {
     let mut out =
         heading("Fig. 5 — actual power vs model prediction (bodytrack, white-noise DVFS)");
     let mut t = Table::new(&["benchmark", "identified a"]);
-    let mut sum = 0.0;
     let suite: Vec<_> = parsec::all()
         .into_iter()
         .filter(|p| p.short != "btrack")
         .collect();
-    for (k, p) in suite.iter().enumerate() {
-        let a = model::identify_gain(&cmp, p, 1000 + k as u64, 40);
+    // One identification run per benchmark; each cell seeds its own noise
+    // stream (1000 + k), so order of execution cannot leak into the fits.
+    let cells: Vec<(usize, _)> = suite.iter().cloned().enumerate().collect();
+    let gains = {
+        let cmp = cmp.clone();
+        parallel_map(cells, move |(k, p)| {
+            model::identify_gain(&cmp, &p, 1000 + k as u64, 40)
+        })
+    };
+    let mut sum = 0.0;
+    for (p, a) in suite.iter().zip(&gains) {
         sum += a;
-        t.row(&[p.short.into(), f(a, 3)]);
+        t.row(&[p.short.into(), f(*a, 3)]);
     }
     let a_avg = sum / suite.len() as f64;
     out.push_str(&t.render());
@@ -50,9 +59,9 @@ pub fn fig6() -> String {
         "R^2 linear",
         "R^2 quadratic",
     ]);
-    let mut r2_sum = 0.0;
     let all = parsec::all();
-    for p in &all {
+    // Each benchmark's sweep owns a private chip instance — fan them out.
+    let fits = parallel_map(all.clone(), |p| {
         let cmp = CmpConfig::paper_default();
         let assignment = WorkloadAssignment::new(vec![p.clone(); 8], 2);
         let mut chip = Chip::new(cmp.clone(), &assignment);
@@ -81,13 +90,17 @@ pub fn fig6() -> String {
         }
         let fit = tr.fit().expect("calibrated");
         let q = tr.quadratic_fit().expect("calibrated");
-        r2_sum += fit.r_squared;
+        (fit.slope, fit.intercept, fit.r_squared, q.r_squared)
+    });
+    let mut r2_sum = 0.0;
+    for (p, (slope, intercept, r2l, r2q)) in all.iter().zip(&fits) {
+        r2_sum += r2l;
         t.row(&[
             p.short.into(),
-            f(fit.slope, 2),
-            f(fit.intercept, 2),
-            f(fit.r_squared, 3),
-            f(q.r_squared, 3),
+            f(*slope, 2),
+            f(*intercept, 2),
+            f(*r2l, 3),
+            f(*r2q, 3),
         ]);
     }
     out.push_str(&t.render());
@@ -98,9 +111,12 @@ pub fn fig6() -> String {
     // Context: the cache-simulator calibration behind the profiles.
     out.push_str("\ncache-simulator calibration (measured MPKI):\n");
     let mut c = Table::new(&["benchmark", "L1 MPKI", "L2 MPKI"]);
-    for p in &all {
-        let r = calibration::calibrate(p, &CmpConfig::paper_default().cache, 99);
-        c.row(&[p.short.into(), f(r.l1_mpki, 1), f(r.l2_mpki, 1)]);
+    let rates = parallel_map(all.clone(), |p| {
+        let r = calibration::calibrate(&p, &CmpConfig::paper_default().cache, 99);
+        (r.l1_mpki, r.l2_mpki)
+    });
+    for (p, (l1, l2)) in all.iter().zip(&rates) {
+        c.row(&[p.short.into(), f(*l1, 1), f(*l2, 1)]);
     }
     out.push_str(&c.render());
     out

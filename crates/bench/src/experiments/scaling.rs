@@ -3,6 +3,7 @@
 use crate::report::{f, heading, Table};
 use cpm_core::coordinator::run_with_baseline;
 use cpm_core::prelude::*;
+use cpm_runtime::parallel_map;
 use cpm_units::Ratio;
 use cpm_workloads::WorkloadAssignment;
 
@@ -18,19 +19,26 @@ fn mix1_regrouped(width: usize) -> WorkloadAssignment {
 pub fn fig13() -> String {
     let mut s = heading("Fig. 13 — performance degradation vs island size (80 % budget)");
     let mut t = Table::new(&["cores/island", "CPM degradation %", "MaxBIPS degradation %"]);
-    for width in [1usize, 2, 4] {
-        let cfg = ExperimentConfig::paper_default()
+    // One cell per (width × scheme); the baseline twin inside
+    // `run_with_baseline` shares seeds with both schemes, so each cell can
+    // rebuild it independently and still report against the same reference.
+    let widths = [1usize, 2, 4];
+    let cells: Vec<(usize, bool)> = widths
+        .iter()
+        .flat_map(|&w| [(w, false), (w, true)])
+        .collect();
+    let degs = parallel_map(cells, |(width, maxbips)| {
+        let mut cfg = ExperimentConfig::paper_default()
             .with_assignment(mix1_regrouped(width))
             .with_budget_percent(80.0);
-        let (m, base) = run_with_baseline(cfg.clone(), 30).expect("valid");
-        let mb = Coordinator::new(cfg.with_scheme(ManagementScheme::MaxBips))
-            .expect("valid")
-            .run_for_gpm_intervals(30);
-        t.row(&[
-            width.to_string(),
-            f(m.degradation_vs(&base), 2),
-            f(mb.degradation_vs(&base), 2),
-        ]);
+        if maxbips {
+            cfg = cfg.with_scheme(ManagementScheme::MaxBips);
+        }
+        let (m, base) = run_with_baseline(cfg, 30).expect("valid");
+        m.degradation_vs(&base)
+    });
+    for (k, width) in widths.iter().enumerate() {
+        t.row(&[width.to_string(), f(degs[2 * k], 2), f(degs[2 * k + 1], 2)]);
     }
     s.push_str(&t.render());
     s.push_str("\npaper: degradation grows with island width (coarser actuation constrains\nco-scheduled apps); at 1 core/island CPM is within a few % of MaxBIPS\n");
@@ -41,21 +49,31 @@ pub fn fig13() -> String {
 /// across budgets.
 pub fn fig15() -> String {
     let mut s = heading("Fig. 15 — scalability: 16 and 32 core CMPs (Mix-3)");
-    for cores in [16usize, 32] {
+    let cores_axis = [16usize, 32];
+    let budgets = [70.0, 80.0, 90.0];
+    let cells: Vec<(usize, f64, bool)> = cores_axis
+        .iter()
+        .flat_map(|&c| {
+            budgets
+                .iter()
+                .flat_map(move |&b| [(c, b, false), (c, b, true)])
+        })
+        .collect();
+    let degs = parallel_map(cells, |(cores, budget, maxbips)| {
+        let mut cfg = ExperimentConfig::paper_default().with_mix(Mix::Mix3, cores, 4);
+        cfg.budget_fraction = Ratio::from_percent(budget);
+        if maxbips {
+            cfg = cfg.with_scheme(ManagementScheme::MaxBips);
+        }
+        let (m, base) = run_with_baseline(cfg, 25).expect("valid");
+        m.degradation_vs(&base)
+    });
+    for (ci, cores) in cores_axis.iter().enumerate() {
         s.push_str(&format!("\n{cores}-core CMP:\n"));
         let mut t = Table::new(&["budget %", "CPM degradation %", "MaxBIPS degradation %"]);
-        for budget in [70.0, 80.0, 90.0] {
-            let mut cfg = ExperimentConfig::paper_default().with_mix(Mix::Mix3, cores, 4);
-            cfg.budget_fraction = Ratio::from_percent(budget);
-            let (m, base) = run_with_baseline(cfg.clone(), 25).expect("valid");
-            let mb = Coordinator::new(cfg.with_scheme(ManagementScheme::MaxBips))
-                .expect("valid")
-                .run_for_gpm_intervals(25);
-            t.row(&[
-                f(budget, 0),
-                f(m.degradation_vs(&base), 2),
-                f(mb.degradation_vs(&base), 2),
-            ]);
+        for (bi, &budget) in budgets.iter().enumerate() {
+            let k = 2 * (ci * budgets.len() + bi);
+            t.row(&[f(budget, 0), f(degs[k], 2), f(degs[k + 1], 2)]);
         }
         s.push_str(&t.render());
     }

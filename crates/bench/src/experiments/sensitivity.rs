@@ -4,6 +4,7 @@
 use crate::report::{f, heading, Table};
 use cpm_core::coordinator::run_with_baseline;
 use cpm_core::prelude::*;
+use cpm_runtime::parallel_map;
 use cpm_units::Seconds;
 use cpm_workloads::WorkloadAssignment;
 
@@ -12,19 +13,19 @@ use cpm_workloads::WorkloadAssignment;
 pub fn fig16() -> String {
     let mut s = heading("Fig. 16 — sensitivity to the application mix");
     let mut t = Table::new(&["budget %", "Mix-1 degradation %", "Mix-2 degradation %"]);
-    for budget in [60.0, 70.0, 80.0, 90.0] {
-        let d1 = {
-            let cfg = ExperimentConfig::paper_default().with_budget_percent(budget);
-            let (m, b) = run_with_baseline(cfg, 30).expect("valid");
-            m.degradation_vs(&b)
-        };
-        let d2 = {
-            let mut cfg = ExperimentConfig::paper_default().with_budget_percent(budget);
-            cfg.mix = Mix::Mix2;
-            let (m, b) = run_with_baseline(cfg, 30).expect("valid");
-            m.degradation_vs(&b)
-        };
-        t.row(&[f(budget, 0), f(d1, 2), f(d2, 2)]);
+    let budgets = [60.0, 70.0, 80.0, 90.0];
+    let cells: Vec<(f64, Mix)> = budgets
+        .iter()
+        .flat_map(|&b| [(b, Mix::Mix1), (b, Mix::Mix2)])
+        .collect();
+    let degs = parallel_map(cells, |(budget, mix)| {
+        let mut cfg = ExperimentConfig::paper_default().with_budget_percent(budget);
+        cfg.mix = mix;
+        let (m, b) = run_with_baseline(cfg, 30).expect("valid");
+        m.degradation_vs(&b)
+    });
+    for (k, &budget) in budgets.iter().enumerate() {
+        t.row(&[f(budget, 0), f(degs[2 * k], 2), f(degs[2 * k + 1], 2)]);
     }
     s.push_str(&t.render());
     s.push_str("\npaper: Mix-2 degrades less — throttling an island holding two memory-bound\napps hurts little, while Mix-1 islands always sacrifice a co-scheduled\nCPU-bound app\n");
@@ -40,21 +41,22 @@ pub fn fig17() -> String {
         "(5ms, 0.5ms) degradation %",
         "(5ms, 5ms) degradation %",
     ]);
-    for width in [1usize, 2, 4] {
+    let widths = [1usize, 2, 4];
+    let cells: Vec<(usize, f64)> = widths.iter().flat_map(|&w| [(w, 0.5), (w, 5.0)]).collect();
+    let degs = parallel_map(cells, |(width, pic_ms)| {
         let base_assignment = {
             let m = WorkloadAssignment::paper_mix(Mix::Mix1, 8);
             WorkloadAssignment::new(m.profiles().to_vec(), width)
         };
-        let mut degs = Vec::new();
-        for pic_ms in [0.5, 5.0] {
-            let mut cfg = ExperimentConfig::paper_default()
-                .with_assignment(base_assignment.clone())
-                .with_budget_percent(80.0);
-            cfg.cmp.pic_interval = Seconds::from_ms(pic_ms);
-            let (m, b) = run_with_baseline(cfg, 30).expect("valid");
-            degs.push(m.degradation_vs(&b));
-        }
-        t.row(&[width.to_string(), f(degs[0], 2), f(degs[1], 2)]);
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_assignment(base_assignment)
+            .with_budget_percent(80.0);
+        cfg.cmp.pic_interval = Seconds::from_ms(pic_ms);
+        let (m, b) = run_with_baseline(cfg, 30).expect("valid");
+        m.degradation_vs(&b)
+    });
+    for (k, width) in widths.iter().enumerate() {
+        t.row(&[width.to_string(), f(degs[2 * k], 2), f(degs[2 * k + 1], 2)]);
     }
     s.push_str(&t.render());
     s.push_str("\npaper: the fast PIC (0.5 ms) degrades less — finer capping lets the GPM's\npredictions hold; a 5 ms PIC leaves each GPM interval with a single\ncorrection opportunity\n");

@@ -5,6 +5,7 @@ use crate::report::{f, heading, Table};
 use cpm_core::coordinator::PolicyKind;
 use cpm_core::prelude::*;
 use cpm_power::variation::VariationMap;
+use cpm_runtime::parallel_map;
 use cpm_units::IslandId;
 
 /// §IV-B: islands 1–3 leak 1.2×/1.5×/2× of island 4; compare the
@@ -17,16 +18,19 @@ pub fn fig19() -> String {
 
     let mut perf_cfg = ExperimentConfig::paper_default();
     perf_cfg.variation = Some(variation.clone());
-    let perf = Coordinator::new(perf_cfg.clone())
-        .expect("valid")
-        .run_for_gpm_intervals(rounds);
-
     let var_cfg = perf_cfg
         .clone()
         .with_scheme(ManagementScheme::Cpm(PolicyKind::Variation));
-    let var = Coordinator::new(var_cfg)
-        .expect("valid")
-        .run_for_gpm_intervals(rounds);
+
+    // Both policies simulate the same varied silicon independently.
+    let mut runs = parallel_map(vec![perf_cfg, var_cfg], move |cfg| {
+        Coordinator::new(cfg)
+            .expect("valid")
+            .run_for_gpm_intervals(rounds)
+    })
+    .into_iter();
+    let perf = runs.next().expect("two cells");
+    let var = runs.next().expect("two cells");
 
     let mut s = heading("Fig. 19 (§IV-B) — variation-aware provisioning under leakage variation");
     s.push_str(&format!(

@@ -16,6 +16,7 @@
 //! recorded paper-vs-measured results.
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 use experiments as ex;
@@ -47,6 +48,120 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "granularity",
 ];
 
+/// Wall-clock cost of one experiment inside a sweep.
+///
+/// Measured around the experiment's `run_experiment` call on whichever
+/// pool context executed it. Under work-stealing a context that finishes
+/// its own cells helps with other experiments' cells, so an experiment's
+/// wall-clock can exceed its pure compute time; the per-worker `busy`
+/// accounting in [`cpm_runtime::PoolStats`] is the undistorted view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment id (one of [`ALL_EXPERIMENTS`]).
+    pub id: &'static str,
+    /// Wall-clock seconds from dispatch to report.
+    pub seconds: f64,
+}
+
+/// Everything one `all` sweep produces.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// `(id, report)` in paper order — byte-identical for any worker
+    /// count, so a determinism gate can diff the concatenation.
+    pub reports: Vec<(&'static str, String)>,
+    /// Per-experiment wall-clock, in the same order.
+    pub timings: Vec<ExperimentTiming>,
+    /// Wall-clock of the whole sweep.
+    pub total_seconds: f64,
+    /// Pool utilization snapshot taken when the sweep finished.
+    pub stats: cpm_runtime::PoolStats,
+}
+
+/// Runs every experiment on the global worker pool (sized by
+/// `CPM_WORKERS`, default: available parallelism).
+pub fn run_all() -> SweepOutcome {
+    run_all_on(cpm_runtime::Pool::global())
+}
+
+/// Runs every experiment on an explicit pool.
+///
+/// Experiments are independent simulations, so the sweep fans them out as
+/// top-level cells; sweep-style experiments additionally fan their own
+/// (mix × budget × island-count) cells onto the *global* pool. Reduction
+/// is deterministic: results are collected in [`ALL_EXPERIMENTS`] order
+/// regardless of completion order or worker count.
+pub fn run_all_on(pool: &cpm_runtime::Pool) -> SweepOutcome {
+    let sweep_start = std::time::Instant::now();
+    let cells = pool.parallel_map(ALL_EXPERIMENTS.to_vec(), |id| {
+        let t0 = std::time::Instant::now();
+        let report = run_experiment(id).expect("known id");
+        (report, t0.elapsed().as_secs_f64())
+    });
+    let mut reports = Vec::with_capacity(cells.len());
+    let mut timings = Vec::with_capacity(cells.len());
+    for (id, (report, seconds)) in ALL_EXPERIMENTS.iter().zip(cells) {
+        reports.push((*id, report));
+        timings.push(ExperimentTiming { id, seconds });
+    }
+    SweepOutcome {
+        reports,
+        timings,
+        total_seconds: sweep_start.elapsed().as_secs_f64(),
+        stats: pool.stats(),
+    }
+}
+
+/// Renders a sweep's telemetry as a JSON document (the
+/// `BENCH_experiments.json` artifact): per-experiment wall-clock plus
+/// per-worker jobs / steals / busy-time / utilization.
+///
+/// Hand-rolled writer — the workspace builds with zero external crates,
+/// so no serde. All emitted numbers are finite.
+pub fn sweep_json(sweep: &SweepOutcome) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0.0".to_string()
+        }
+    }
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"workers\": {},\n", sweep.stats.workers));
+    s.push_str(&format!(
+        "  \"total_seconds\": {},\n",
+        num(sweep.total_seconds)
+    ));
+    s.push_str("  \"experiments\": [\n");
+    for (k, t) in sweep.timings.iter().enumerate() {
+        let sep = if k + 1 < sweep.timings.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {}}}{sep}\n",
+            t.id,
+            num(t.seconds)
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"pool\": {{\n    \"elapsed_seconds\": {},\n    \"total_jobs\": {},\n    \"contexts\": [\n",
+        num(sweep.stats.elapsed.as_secs_f64()),
+        sweep.stats.total_jobs()
+    ));
+    let n = sweep.stats.per_context.len();
+    for (k, c) in sweep.stats.per_context.iter().enumerate() {
+        let role = if k + 1 == n { "caller" } else { "worker" };
+        let sep = if k + 1 < n { "," } else { "" };
+        s.push_str(&format!(
+            "      {{\"context\": {k}, \"role\": \"{role}\", \"jobs\": {}, \"steals\": {}, \"busy_seconds\": {}, \"utilization\": {}}}{sep}\n",
+            c.jobs,
+            c.steals,
+            num(c.busy.as_secs_f64()),
+            num(sweep.stats.utilization(k))
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
+    s
+}
+
 /// Runs one experiment by id; `None` for unknown ids.
 pub fn run_experiment(id: &str) -> Option<String> {
     Some(match id {
@@ -75,4 +190,59 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "granularity" => ex::granularity::granularity(),
         _ => return None,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sweep_json_has_the_artifact_shape() {
+        let sweep = SweepOutcome {
+            reports: vec![("table1", "report\n".into())],
+            timings: vec![ExperimentTiming {
+                id: "table1",
+                seconds: 0.25,
+            }],
+            total_seconds: 0.3,
+            stats: cpm_runtime::PoolStats {
+                workers: 2,
+                elapsed: Duration::from_millis(400),
+                per_context: vec![
+                    cpm_runtime::WorkerSnapshot {
+                        jobs: 3,
+                        steals: 1,
+                        busy: Duration::from_millis(200),
+                    };
+                    3
+                ],
+            },
+        };
+        let json = sweep_json(&sweep);
+        for needle in [
+            "\"workers\": 2",
+            "\"id\": \"table1\"",
+            "\"seconds\": 0.250000",
+            "\"role\": \"caller\"",
+            "\"steals\": 1",
+            "\"utilization\": 0.500000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON parser in the dependency set.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_id_is_rejected() {
+        assert!(run_experiment("fig99").is_none());
+    }
 }

@@ -1,0 +1,121 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The bench targets under `benches/` use `harness = false` and drive this
+//! module directly, so `cargo bench` works with zero external crates. The
+//! measurement loop is deliberately simple: calibrate a batch size that
+//! takes a few milliseconds, time an odd number of batches, report the
+//! median and minimum per-iteration cost. That is plenty to spot the
+//! order-of-magnitude regressions these benches exist to catch.
+//!
+//! CLI: any non-flag argument is a substring filter on bench names (cargo
+//! itself passes `--bench`, which is ignored). `CPM_BENCH_QUICK=1` cuts
+//! the per-bench budget ~10× for smoke runs.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-batch target duration; long enough to swamp timer overhead.
+const BATCH_TARGET: Duration = Duration::from_millis(4);
+const WARMUP: Duration = Duration::from_millis(40);
+const SAMPLES: usize = 11;
+
+pub struct Bench {
+    filter: Vec<String>,
+    quick: bool,
+    ran: usize,
+}
+
+impl Bench {
+    /// Builds a runner from `std::env::args`, announcing the suite name.
+    pub fn new(suite: &str) -> Self {
+        let filter: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        let quick = std::env::var("CPM_BENCH_QUICK").is_ok_and(|v| v != "0");
+        eprintln!("suite {suite}{}", if quick { " (quick)" } else { "" });
+        Bench {
+            filter,
+            quick,
+            ran: 0,
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f))
+    }
+
+    /// Times `f`, printing `name  median/iter (min …, N iters)`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        self.ran += 1;
+        let scale = if self.quick { 10 } else { 1 };
+
+        // Warm up while calibrating how many iterations fill one batch.
+        let warmup = WARMUP / scale;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((BATCH_TARGET / scale).as_secs_f64() / per_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+
+        let samples = if self.quick { 5 } else { SAMPLES };
+        let mut per_iter_ns: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[samples / 2];
+        let min = per_iter_ns[0];
+        println!(
+            "{name:<44} {:>12}/iter  (min {}, {} iters/sample)",
+            fmt_ns(median),
+            fmt_ns(min),
+            batch
+        );
+    }
+
+    /// Prints the run count; call last so empty filters are noticeable.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            eprintln!("no benches matched filter {:?}", self.filter);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_ns;
+
+    #[test]
+    fn formats_across_scales() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,0 +1,41 @@
+//! Determinism contract of the parallel experiment engine: for any worker
+//! count, the same experiment cells reduce to byte-identical reports in
+//! the same order. CI enforces the full-sweep version of this by diffing
+//! `experiments all` stdout across `CPM_WORKERS=1` and `CPM_WORKERS=4`;
+//! this test pins the property in-process on a cheap experiment subset so
+//! a regression fails fast in `cargo test`.
+
+use cpm_bench::run_experiment;
+use cpm_runtime::Pool;
+
+/// Cheap, pure-computation experiments (control analysis + static
+/// tables) — enough to exercise the fan-out/reduce path without paying
+/// for full coordinator sweeps in a unit test.
+const SMALL_GRID: &[&str] = &[
+    "table1", "table2", "table3", "poles", "margin", "bode", "locus",
+];
+
+fn sweep_on(pool: &Pool) -> Vec<String> {
+    pool.parallel_map(SMALL_GRID.to_vec(), |id| {
+        run_experiment(id).expect("known id")
+    })
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_byte_identical() {
+    let serial = sweep_on(&Pool::new(1));
+    let parallel = sweep_on(&Pool::new(4));
+    assert_eq!(serial.len(), SMALL_GRID.len());
+    for ((s, p), id) in serial.iter().zip(&parallel).zip(SMALL_GRID) {
+        assert_eq!(s, p, "report for {id} differs between 1 and 4 workers");
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_are_stable() {
+    // Same pool width, two passes: flushes out any run-to-run
+    // nondeterminism (stray global state, time-dependent seeding).
+    let a = sweep_on(&Pool::new(4));
+    let b = sweep_on(&Pool::new(4));
+    assert_eq!(a, b);
+}

@@ -68,7 +68,7 @@ pub fn jury_test(p: &Polynomial) -> JuryResult {
         .enumerate()
         .map(|(k, &c)| if k % 2 == 0 { c } else { -c })
         .sum();
-    let signed = if n.is_multiple_of(2) {
+    let signed = if n % 2 == 0 {
         at_minus_one
     } else {
         -at_minus_one

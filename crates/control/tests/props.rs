@@ -1,115 +1,128 @@
-//! Property-based tests for the control-theory toolkit.
+//! Property-based tests for the control-theory toolkit, on the in-tree
+//! `cpm_rng::check` harness.
 
 use cpm_control::jury::{jury_test, JuryResult};
 use cpm_control::{analysis, closed_loop, Pid, PidGains, Polynomial, TransferFunction};
-use proptest::prelude::*;
+use cpm_rng::{check, Xoshiro256pp};
 
 /// Small real coefficients that keep evaluation well-conditioned.
-fn coeff() -> impl Strategy<Value = f64> {
-    (-5.0..5.0f64).prop_filter("nonzero-ish", |c| c.abs() > 1e-6 || *c == 0.0)
+fn coeffs(rng: &mut Xoshiro256pp, min_len: usize, max_len: usize) -> Vec<f64> {
+    check::vec_f64(rng, -5.0, 5.0, min_len, max_len)
 }
 
-/// Roots comfortably inside/outside the unit circle (avoids the boundary).
-fn real_root() -> impl Strategy<Value = f64> {
-    prop_oneof![(-0.95..0.95f64), (1.05..3.0f64), (-3.0..-1.05f64)]
+/// A root comfortably inside/outside the unit circle (avoids the boundary).
+fn real_root(rng: &mut Xoshiro256pp) -> f64 {
+    match rng.below(3) {
+        0 => rng.f64_in(-0.95, 0.95),
+        1 => rng.f64_in(1.05, 3.0),
+        _ => rng.f64_in(-3.0, -1.05),
+    }
 }
 
-proptest! {
-    #[test]
-    fn polynomial_product_evaluates_pointwise(
-        a in prop::collection::vec(coeff(), 1..5),
-        b in prop::collection::vec(coeff(), 1..5),
-        x in -3.0..3.0f64,
-    ) {
-        let pa = Polynomial::new(a);
-        let pb = Polynomial::new(b);
+#[test]
+fn polynomial_product_evaluates_pointwise() {
+    check::forall("poly product pointwise", |rng| {
+        let pa = Polynomial::new(coeffs(rng, 1, 5));
+        let pb = Polynomial::new(coeffs(rng, 1, 5));
+        let x = rng.f64_in(-3.0, 3.0);
         let prod = &pa * &pb;
         let direct = pa.eval(x) * pb.eval(x);
-        prop_assert!((prod.eval(x) - direct).abs() < 1e-6 * (1.0 + direct.abs()));
-    }
+        assert!((prod.eval(x) - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+    });
+}
 
-    #[test]
-    fn polynomial_sum_evaluates_pointwise(
-        a in prop::collection::vec(coeff(), 1..6),
-        b in prop::collection::vec(coeff(), 1..6),
-        x in -3.0..3.0f64,
-    ) {
-        let pa = Polynomial::new(a);
-        let pb = Polynomial::new(b);
+#[test]
+fn polynomial_sum_evaluates_pointwise() {
+    check::forall("poly sum pointwise", |rng| {
+        let pa = Polynomial::new(coeffs(rng, 1, 6));
+        let pb = Polynomial::new(coeffs(rng, 1, 6));
+        let x = rng.f64_in(-3.0, 3.0);
         let sum = &pa + &pb;
-        prop_assert!((sum.eval(x) - (pa.eval(x) + pb.eval(x))).abs() < 1e-9);
-    }
+        assert!((sum.eval(x) - (pa.eval(x) + pb.eval(x))).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn roots_of_constructed_polynomial_are_recovered(
-        roots in prop::collection::vec(real_root(), 1..6),
-    ) {
+#[test]
+fn roots_of_constructed_polynomial_are_recovered() {
+    check::forall("roots recovered", |rng| {
+        let mut rs: Vec<f64> = (0..rng.usize_in(1, 6)).map(|_| real_root(rng)).collect();
+        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Keep roots pairwise separated so multiplicity doesn't slow
         // convergence below test tolerance.
-        let mut rs = roots.clone();
-        rs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assume!(rs.windows(2).all(|w| (w[1] - w[0]).abs() > 0.05));
+        if rs.windows(2).any(|w| (w[1] - w[0]).abs() <= 0.05) {
+            return;
+        }
         let p = Polynomial::from_roots(&rs);
         let complex_roots = cpm_control::roots::roots(&p);
         let mut found = Vec::with_capacity(complex_roots.len());
         for z in complex_roots {
-            prop_assert!(z.im.abs() < 1e-5, "spurious complex root {z}");
+            assert!(z.im.abs() < 1e-5, "spurious complex root {z}");
             found.push(z.re);
         }
         found.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (f, r) in found.iter().zip(&rs) {
-            prop_assert!((f - r).abs() < 1e-4, "root {f} vs {r}");
+            assert!((f - r).abs() < 1e-4, "root {f} vs {r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn stability_test_agrees_with_construction(
-        inside in prop::collection::vec(-0.9..0.9f64, 1..5),
-        outside in 1.05..2.0f64,
-    ) {
+#[test]
+fn stability_test_agrees_with_construction() {
+    check::forall("stability vs construction", |rng| {
+        let inside = check::vec_f64(rng, -0.9, 0.9, 1, 5);
+        let outside = rng.f64_in(1.05, 2.0);
         let stable = Polynomial::from_roots(&inside);
-        prop_assert!(cpm_control::roots::all_roots_in_unit_circle(&stable));
+        assert!(cpm_control::roots::all_roots_in_unit_circle(&stable));
         let mut with_outlier = inside.clone();
         with_outlier.push(outside);
         let unstable = Polynomial::from_roots(&with_outlier);
-        prop_assert!(!cpm_control::roots::all_roots_in_unit_circle(&unstable));
-    }
+        assert!(!cpm_control::roots::all_roots_in_unit_circle(&unstable));
+    });
+}
 
-    #[test]
-    fn stable_tf_step_response_converges_to_dc_gain(
-        pole1 in -0.8..0.8f64,
-        pole2 in -0.8..0.8f64,
-        num in 0.1..2.0f64,
-    ) {
+#[test]
+fn stable_tf_step_response_converges_to_dc_gain() {
+    check::forall("step response dc gain", |rng| {
+        let pole1 = rng.f64_in(-0.8, 0.8);
+        let pole2 = rng.f64_in(-0.8, 0.8);
+        let num = rng.f64_in(0.1, 2.0);
         let den = Polynomial::from_roots(&[pole1, pole2]);
         let tf = TransferFunction::new(Polynomial::constant(num), den);
-        prop_assume!(tf.is_stable());
+        if !tf.is_stable() {
+            return;
+        }
         let dc = tf.dc_gain();
-        prop_assume!(dc.is_finite());
+        if !dc.is_finite() {
+            return;
+        }
         let y = tf.step_response(400);
-        prop_assert!(
+        assert!(
             (y[399] - dc).abs() < 1e-3 * (1.0 + dc.abs()),
-            "final {} vs dc {}", y[399], dc
+            "final {} vs dc {}",
+            y[399],
+            dc
         );
-    }
+    });
+}
 
-    #[test]
-    fn pid_integral_respects_its_clamp(
-        errors in prop::collection::vec(-10.0..10.0f64, 1..100),
-        limit in 0.1..5.0f64,
-    ) {
+#[test]
+fn pid_integral_respects_its_clamp() {
+    check::forall("pid integral clamp", |rng| {
+        let errors = check::vec_f64(rng, -10.0, 10.0, 1, 100);
+        let limit = rng.f64_in(0.1, 5.0);
         let mut pid = Pid::new(PidGains::paper()).with_integral_limit(limit);
         for e in errors {
             pid.step(e);
-            prop_assert!(pid.integral().abs() <= limit + 1e-12);
+            assert!(pid.integral().abs() <= limit + 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pid_output_is_linear_in_error_scale(
-        errors in prop::collection::vec(-2.0..2.0f64, 1..30),
-        scale in 0.1..5.0f64,
-    ) {
+#[test]
+fn pid_output_is_linear_in_error_scale() {
+    check::forall("pid linearity", |rng| {
+        let errors = check::vec_f64(rng, -2.0, 2.0, 1, 30);
+        let scale = rng.f64_in(0.1, 5.0);
         // With no clamping, PID is a linear operator: scaling the error
         // sequence scales the output sequence.
         let mut a = Pid::new(PidGains::paper());
@@ -117,45 +130,55 @@ proptest! {
         for e in &errors {
             let ua = a.step(*e);
             let ub = b.step(*e * scale);
-            prop_assert!((ub - ua * scale).abs() < 1e-9 * (1.0 + ua.abs() * scale));
+            assert!((ub - ua * scale).abs() < 1e-9 * (1.0 + ua.abs() * scale));
         }
-    }
+    });
+}
 
-    #[test]
-    fn jury_agrees_with_the_root_finder(
-        roots in prop::collection::vec(real_root(), 1..6),
-    ) {
+#[test]
+fn jury_agrees_with_the_root_finder() {
+    check::forall("jury vs roots", |rng| {
+        let roots: Vec<f64> = (0..rng.usize_in(1, 6)).map(|_| real_root(rng)).collect();
         let p = Polynomial::from_roots(&roots);
         let radius = cpm_control::roots::spectral_radius(&p);
-        prop_assume!((radius - 1.0).abs() > 1e-3, "skip near-circle cases");
+        if (radius - 1.0).abs() <= 1e-3 {
+            return; // skip near-circle cases
+        }
         match jury_test(&p) {
-            JuryResult::Stable => prop_assert!(radius < 1.0, "jury stable but radius {radius}"),
-            JuryResult::Unstable => prop_assert!(radius > 1.0, "jury unstable but radius {radius}"),
+            JuryResult::Stable => assert!(radius < 1.0, "jury stable but radius {radius}"),
+            JuryResult::Unstable => assert!(radius > 1.0, "jury unstable but radius {radius}"),
             JuryResult::Marginal => {} // numerically indeterminate — no claim
         }
-    }
+    });
+}
 
-    #[test]
-    fn closed_loop_is_stable_within_the_gain_margin(
-        frac in 0.05..0.95f64,
-    ) {
-        let margin = analysis::gain_margin(PidGains::paper(), 0.79, 1e-3);
+#[test]
+fn closed_loop_is_stable_within_the_gain_margin() {
+    let margin = analysis::gain_margin(PidGains::paper(), 0.79, 1e-3);
+    check::forall("stable within margin", |rng| {
+        let frac = rng.f64_in(0.05, 0.95);
         let cl = closed_loop(PidGains::paper(), frac * margin * 0.79);
-        prop_assert!(cl.is_stable(), "g = {} within margin {}", frac * margin, margin);
-    }
+        assert!(
+            cl.is_stable(),
+            "g = {} within margin {}",
+            frac * margin,
+            margin
+        );
+    });
+}
 
-    #[test]
-    fn step_metrics_overshoot_nonnegative_and_consistent(
-        y in prop::collection::vec(0.0..3.0f64, 2..50),
-    ) {
+#[test]
+fn step_metrics_overshoot_nonnegative_and_consistent() {
+    check::forall("step metrics overshoot", |rng| {
+        let y = check::vec_f64(rng, 0.0, 3.0, 2, 50);
         let m = analysis::step_metrics(&y, 1.0, 0.05);
-        prop_assert!(m.overshoot >= 0.0);
+        assert!(m.overshoot >= 0.0);
         let peak = y.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert!((m.overshoot - (peak - 1.0).max(0.0)).abs() < 1e-12);
+        assert!((m.overshoot - (peak - 1.0).max(0.0)).abs() < 1e-12);
         if let Some(k) = m.settling_steps {
             for v in &y[k..] {
-                prop_assert!((v - 1.0).abs() <= 0.05 + 1e-12);
+                assert!((v - 1.0).abs() <= 0.05 + 1e-12);
             }
         }
-    }
+    });
 }

@@ -630,6 +630,7 @@ impl Coordinator {
         let mut acc_power = vec![Watts::ZERO; islands];
         let mut acc_instr = vec![0.0f64; islands];
         let mut acc_util = vec![0.0f64; islands];
+        let mut acc_cap_util = vec![0.0f64; islands];
         let mut acc_peak_temp = vec![0.0f64; islands];
         let mut have_feedback = false;
 
@@ -638,6 +639,12 @@ impl Coordinator {
             match &mut self.manager {
                 Manager::Cpm { gpm, pics } => {
                     if have_feedback {
+                        // The coarse per-island meter read the GPM relies
+                        // on also re-zeroes each PIC's fast transducer.
+                        for (i, pic) in pics.iter_mut().enumerate() {
+                            let k = pics_per_gpm as f64;
+                            pic.rezero(Ratio::new(acc_cap_util[i] / k), acc_power[i] / k);
+                        }
                         let feedback: Vec<IslandFeedback> = (0..islands)
                             .map(|i| {
                                 let k = pics_per_gpm as f64;
@@ -706,6 +713,7 @@ impl Coordinator {
             acc_power.fill(Watts::ZERO);
             acc_instr.fill(0.0);
             acc_util.fill(0.0);
+            acc_cap_util.fill(0.0);
             acc_peak_temp.fill(0.0);
 
             // ---- Tier 2: local control, one PIC interval at a time ----
@@ -716,6 +724,7 @@ impl Coordinator {
                     acc_power[i] += isl.power;
                     acc_instr[i] += isl.instructions;
                     acc_util[i] += isl.utilization.value();
+                    acc_cap_util[i] += isl.capacity_utilization.value();
                     out.island_actual_percent[i].push(t, pct(isl.power));
                     out.island_target_percent[i].push(t, pct(self.alloc[i]));
                     out.island_dvfs_index[i].push(t, isl.dvfs_index as f64);

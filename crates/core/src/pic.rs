@@ -73,6 +73,12 @@ pub struct PerIslandController {
     f_norm: f64,
     /// Current power target.
     target: Watts,
+    /// EWMA of the transducer's sensing error (true − sensed, watts),
+    /// learned from GPM-granularity power measurements and added back
+    /// into every estimate. The calibration sweep fixes the *shape* of
+    /// P(U); this re-zeroing tracks the slow bias workload phases and
+    /// die temperature put under it.
+    sensor_offset: f64,
     invocations: u64,
 }
 
@@ -116,6 +122,7 @@ impl PerIslandController {
             max_step: 0.08,
             f_norm: 1.0, // chips boot at the top operating point
             target: island_max_power,
+            sensor_offset: 0.0,
             invocations: 0,
         }
     }
@@ -178,9 +185,37 @@ impl PerIslandController {
     /// Converts the observables into sensed power.
     pub fn sense(&self, capacity_utilization: Ratio, true_power: Watts) -> Watts {
         match self.sensor {
-            PicSensor::Transducer => self.transducer.estimate_power(capacity_utilization),
+            PicSensor::Transducer => Watts::new(
+                (self.transducer.estimate_power(capacity_utilization).value() + self.sensor_offset)
+                    .max(0.0),
+            ),
             PicSensor::Oracle => true_power,
         }
+    }
+
+    /// Re-zeroes the transducer against a GPM-granularity power
+    /// measurement: `mean_true_power` over the interval whose mean
+    /// capacity utilization was `mean_capacity_utilization`. Real chips
+    /// expose exactly this signal — the same coarse per-island meter that
+    /// feeds the GPM's `IslandFeedback` — so the fast sensor's slow bias
+    /// (phase drift, temperature-dependent leakage) can be trimmed out
+    /// without re-running the calibration sweep. No-op in oracle mode.
+    pub fn rezero(&mut self, mean_capacity_utilization: Ratio, mean_true_power: Watts) {
+        if self.sensor == PicSensor::Oracle || !self.transducer.is_calibrated() {
+            return;
+        }
+        let sensed = self.transducer.estimate_power(mean_capacity_utilization);
+        let err = (mean_true_power - sensed).value();
+        // Fast enough to cancel a phase-induced bias within a few GPM
+        // intervals, slow enough not to chase within-interval noise.
+        const ALPHA: f64 = 0.4;
+        self.sensor_offset += ALPHA * (err - self.sensor_offset);
+    }
+
+    /// The current sensing-bias correction (watts); zero until `rezero`
+    /// observations arrive.
+    pub fn sensor_offset(&self) -> Watts {
+        Watts::new(self.sensor_offset)
     }
 
     /// One control invocation: sense, compute the error, run the PID, move

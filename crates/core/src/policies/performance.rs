@@ -25,8 +25,18 @@
 //! memory-bound islands (whose BIPS barely responds to frequency) to
 //! CPU-bound ones. The measured `d log BIPS / d log P` slope is exactly
 //! the "expected performance variation for the scaling" and separates the
-//! two classes cleanly (≈ 0.4 for CPU-bound, ≈ 0.1 for memory-bound on
+//! two classes cleanly (≈ 0.4 for CPU-bound, ≈ 0 for memory-bound on
 //! this substrate).
+//!
+//! Two details keep the estimator honest. The regression runs on the
+//! *allocated* budgets — the excitation the GPM itself induced — never on
+//! measured power, whose phase-driven co-movement with BIPS masquerades
+//! as frequency-sensitivity on unthrottled islands. And until an island
+//! has seen real excitation, its sensitivity prior is its measured busy
+//! fraction: a core stalled on memory X % of the time can gain at most
+//! (1−X) from a faster clock, so utilization separates the classes before
+//! the regression has any data (and supplies the initial allocation skew
+//! that *creates* the excitation).
 
 use crate::gpm::{IslandFeedback, ProvisioningPolicy};
 use cpm_units::Watts;
@@ -39,6 +49,10 @@ const SENS_MIN_DELTA: f64 = 0.01;
 const WEIGHT_FLOOR: f64 = 0.05;
 /// Headroom over the observed demand peak allowed in an allocation.
 const DEMAND_HEADROOM: f64 = 1.15;
+/// Tighter margin used when reclaiming from sated islands to feed hungry
+/// ones; the 2 % slack left on the donor outruns the demand tracker's
+/// 1 %-per-interval decay, so donors can still grow back.
+const DEMAND_TRIM: f64 = 1.02;
 /// Decay of the demand-peak tracker per GPM interval.
 const DEMAND_DECAY: f64 = 0.99;
 
@@ -78,11 +92,14 @@ impl Default for IslandHistory {
 
 impl IslandHistory {
     /// Current sensitivity estimate `s = Δlog BIPS / Δlog P`, clamped to
-    /// the physically meaningful band; 0.4 (a neutral CPU-ish prior) until
-    /// enough excitation has been seen.
-    fn sensitivity(&self) -> f64 {
+    /// the physically meaningful band; `prior` until enough excitation has
+    /// been seen. Callers pass the island's measured busy fraction as the
+    /// prior — a core stalled on memory X % of the time can gain at most
+    /// (1−X) from a frequency increase, so utilization is a first-order
+    /// estimate of the elasticity that needs no excitation at all.
+    fn sensitivity_or(&self, prior: f64) -> f64 {
         if self.sens_den < 1e-6 {
-            0.4
+            prior
         } else {
             (self.sens_num / self.sens_den).clamp(0.0, 1.5)
         }
@@ -120,7 +137,7 @@ impl PerformanceAware {
 
     /// Current per-island sensitivity estimates (for inspection/tests).
     pub fn sensitivities(&self) -> Vec<f64> {
-        self.history.iter().map(|h| h.sensitivity()).collect()
+        self.history.iter().map(|h| h.sensitivity_or(0.4)).collect()
     }
 
     /// Guard against degenerate ratios when power barely changed or
@@ -155,16 +172,24 @@ impl ProvisioningPolicy for PerformanceAware {
         if self.history.len() != n {
             self.history = vec![IslandHistory::default(); n];
         }
-        // Learn sensitivities from the interval that just ended, using the
-        // *measured* power so the excitation reflects what really happened.
+        // Learn sensitivities from the interval that just ended, regressing
+        // on the *allocated* budgets — the excitation the GPM itself
+        // induced. Regressing on measured power instead would confound the
+        // estimate: an unthrottled memory-bound island's power and BIPS
+        // co-move through workload phases (both scale with activity), which
+        // reads as high frequency-sensitivity when the true elasticity is
+        // near zero.
         for (h, fb) in self.history.iter_mut().zip(feedback) {
-            h.learn(fb.bips, fb.actual_power.value().max(1e-9));
+            h.learn(fb.bips, fb.allocated.value().max(1e-9));
             h.update_demand(fb.actual_power.value());
         }
         let weights: Vec<f64> = feedback
             .iter()
             .zip(&self.history)
-            .map(|(fb, h)| Self::phi(h, fb).sqrt() * (WEIGHT_FLOOR + h.sensitivity()))
+            .map(|(fb, h)| {
+                let prior = fb.utilization.value().clamp(0.0, 1.0);
+                Self::phi(h, fb).sqrt() * (WEIGHT_FLOOR + h.sensitivity_or(prior))
+            })
             .collect();
         let sum: f64 = weights.iter().sum();
         let mut alloc: Vec<Watts> = if sum <= 1e-12 {
@@ -172,6 +197,33 @@ impl ProvisioningPolicy for PerformanceAware {
         } else {
             weights.iter().map(|&w| budget * (w / sum)).collect()
         };
+        // Demand-aware rebalancing: reclaim allocation beyond demand·TRIM
+        // from sated islands to feed islands still below their demonstrated
+        // demand. Without this, a weight-rich island hoards budget it
+        // cannot convert into anything (it already runs at full speed)
+        // while a weight-poor island sits throttled below demand even when
+        // the budget covers everyone — management would cost throughput at
+        // a 100 % budget. Both transfers are sum-preserving.
+        for _ in 0..4 {
+            let mut need = vec![0.0f64; n];
+            let mut surplus = vec![0.0f64; n];
+            for (i, (a, h)) in alloc.iter().zip(&self.history).enumerate() {
+                if h.demand_peak <= 0.0 {
+                    continue;
+                }
+                need[i] = (h.demand_peak - a.value()).max(0.0);
+                surplus[i] = (a.value() - h.demand_peak * DEMAND_TRIM).max(0.0);
+            }
+            let total_need: f64 = need.iter().sum();
+            let total_surplus: f64 = surplus.iter().sum();
+            let take = total_need.min(total_surplus);
+            if take <= 1e-9 {
+                break;
+            }
+            for (i, a) in alloc.iter_mut().enumerate() {
+                *a += Watts::new(take * (need[i] / total_need - surplus[i] / total_surplus));
+            }
+        }
         // Demand ceilings: cap every island at a small headroom over its
         // demonstrated peak power and hand the freed budget to islands
         // still below their caps (weight-proportionally). A few passes
@@ -203,11 +255,12 @@ impl ProvisioningPolicy for PerformanceAware {
                 alloc[i] += Watts::new(freed * weights[i] / open_weight);
             }
         }
-        // Roll history forward; record the *measured* power as the basis
-        // for both the cube-root expectation and the next learning step.
+        // Roll history forward; record the *allocated* budget as the basis
+        // for both the cube-root expectation (Eq. 5 is stated in power
+        // budgets) and the next learning step.
         for (h, fb) in self.history.iter_mut().zip(feedback) {
             h.prev_prev_alloc = h.prev_alloc;
-            h.prev_alloc = fb.actual_power.value().max(1e-9);
+            h.prev_alloc = fb.allocated.value().max(1e-9);
             h.prev_bips = fb.bips;
         }
         alloc
@@ -267,23 +320,29 @@ mod tests {
 
     #[test]
     fn frequency_sensitive_island_wins_the_budget() {
-        // Island 0 is CPU-bound: BIPS tracks P^0.45. Island 1 is
-        // memory-bound: BIPS is flat. Workload phases perturb the consumed
-        // power a few percent each interval (without that excitation the
-        // symmetric equal split is a fixed point — exactly why the real
-        // system relies on phase variation to identify sensitivities).
+        // Island 0 is CPU-bound: busy 90 % of the time, BIPS tracks its
+        // budget as P^0.45, and it can absorb up to 30 W. Island 1 is
+        // memory-bound: busy 35 %, BIPS flat in its budget, and it never
+        // draws more than 12 W no matter what it is allocated. The
+        // utilization prior skews the very first data-driven split, the
+        // skew is the excitation the regression learns the real
+        // elasticities from, and the demand tracker reclaims what the
+        // memory-bound island provably cannot use.
         let mut p = PerformanceAware::new();
         let budget = Watts::new(40.0);
         let mut a0 = 20.0f64;
         let mut a1 = 20.0f64;
         let mut last = Vec::new();
-        for k in 0..30 {
-            let dither = if k % 2 == 0 { 1.05 } else { 0.95 };
-            let p0 = a0 * dither;
-            let p1 = a1 * (2.0 - dither);
+        for _ in 0..30 {
+            let p0 = a0.min(30.0);
+            let p1 = a1.min(12.0);
             let b0 = 2.0 * (p0 / 20.0).powf(0.45);
             let b1 = 1.5; // flat
-            last = p.provision(budget, &[fb(0, a0, p0, b0), fb(1, a1, p1, b1)]);
+            let mut f0 = fb(0, a0, p0, b0);
+            f0.utilization = Ratio::new(0.9);
+            let mut f1 = fb(1, a1, p1, b1);
+            f1.utilization = Ratio::new(0.35);
+            last = p.provision(budget, &[f0, f1]);
             a0 = last[0].value();
             a1 = last[1].value();
         }

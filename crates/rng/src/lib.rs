@@ -1,0 +1,325 @@
+//! Deterministic in-tree random numbers for the whole workspace.
+//!
+//! Every stochastic component of the reproduction — address streams, phase
+//! generators, white-noise excitation — draws from this crate, so the
+//! workspace builds with **zero crates.io dependencies** and every
+//! experiment is bit-for-bit reproducible across machines, worker counts,
+//! and rustc versions.
+//!
+//! Two layers:
+//!
+//! 1. [`SplitMix64`] — a 64-bit mixing generator used exclusively for
+//!    *seeding*: expanding one `u64` seed into xoshiro state, and deriving
+//!    decorrelated child seeds for independent simulation cells.
+//! 2. [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna), the workhorse
+//!    generator: 256-bit state, period 2²⁵⁶−1, passes BigCrush.
+//!
+//! ## Stream discipline
+//!
+//! Parallel experiment cells must not share a generator — that would make
+//! results depend on execution order. Instead every cell derives its own
+//! stream from a root seed:
+//!
+//! ```
+//! use cpm_rng::Xoshiro256pp;
+//!
+//! let root = 42;
+//! let mut cell_a = Xoshiro256pp::child(root, 0); // (seed, index) → stream
+//! let mut cell_b = Xoshiro256pp::child(root, 1);
+//! assert_ne!(cell_a.next_u64(), cell_b.next_u64());
+//! assert_eq!(
+//!     Xoshiro256pp::child(root, 0).next_u64(),
+//!     Xoshiro256pp::child(root, 0).next_u64(),
+//! );
+//! ```
+//!
+//! Child seeds are hashed through SplitMix64, so distinct `(seed, index)`
+//! pairs land in far-apart regions of the sequence space; for streams that
+//! need a *guaranteed* 2¹²⁸-step separation, [`Xoshiro256pp::jump`] applies
+//! the xoshiro jump polynomial.
+//!
+//! The [`check`] module is a small property-test harness built on these
+//! generators (the workspace's replacement for `proptest`).
+
+pub mod check;
+
+/// SplitMix64 (Steele, Lea & Flood): the standard seeding generator for
+/// xoshiro-family state expansion.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Golden-ratio increment.
+    pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One-shot avalanche mix of a single value (stateless helper for
+    /// combining seeds with stream/cell indices).
+    pub fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(Self::GAMMA);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's general-purpose generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds by expanding `seed` through SplitMix64 (the construction the
+    /// xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 is a bijection of a counter, so four consecutive
+        // outputs are never all zero; the assert documents the invariant
+        // xoshiro needs rather than guarding a reachable state.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Self { s }
+    }
+
+    /// Derives the `index`-th child stream of `seed`: the deterministic
+    /// per-cell generator used by parallel experiment sweeps. Distinct
+    /// `(seed, index)` pairs give decorrelated streams; identical pairs
+    /// give identical streams regardless of worker count or run order.
+    pub fn child(seed: u64, index: u64) -> Self {
+        // Mix the index with a distinct constant before folding it into
+        // the seed so (s, i) and (s+1, i-1)-style collisions cannot occur
+        // along simple lattice directions.
+        let folded =
+            SplitMix64::mix(seed) ^ SplitMix64::mix(index.wrapping_mul(0xA076_1D64_78BD_642F));
+        Self::seed_from_u64(folded)
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, n)`. Uses the Lemire multiply-shift map; the
+    /// ≤ n/2⁶⁴ bias is irrelevant for simulation workloads and the mapping
+    /// is branch-free and deterministic.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform `f64` in `[-1, 1]` (closed upper end matters only at f64
+    /// resolution; kept for parity with the old `rand` range).
+    #[inline]
+    pub fn signed_unit(&mut self) -> f64 {
+        self.f64_in(-1.0, 1.0)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Zero-mean unit-variance Gaussian via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // u1 in (0, 1] keeps ln() finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Advances the state by 2¹²⁸ steps (the xoshiro256 jump polynomial):
+    /// partitions the period into guaranteed non-overlapping half-period
+    /// segments for long-lived sibling streams.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s = [0u64; 4];
+        for word in JUMP {
+            for b in 0..64 {
+                if (word & (1u64 << b)) != 0 {
+                    for (acc, cur) in s.iter_mut().zip(self.s.iter()) {
+                        *acc ^= cur;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c (Vigna).
+        let mut sm = SplitMix64::new(1234567);
+        let expected = [
+            6_457_827_717_110_365_317u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for e in expected {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_matches_reference_vectors() {
+        // xoshiro256++ seeded with s = [1, 2, 3, 4]: first outputs from the
+        // public-domain xoshiro256plusplus.c (Blackman & Vigna).
+        let mut x = Xoshiro256pp { s: [1, 2, 3, 4] };
+        let expected = [
+            41_943_041u64,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+        ];
+        for e in expected {
+            assert_eq!(x.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_is_reproducible_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut c = Xoshiro256pp::seed_from_u64(8);
+        assert_ne!(a[0], c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| r.next_f64()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(xs.iter().any(|&x| x < 0.01) && xs.iter().any(|&x| x > 0.99));
+    }
+
+    #[test]
+    fn below_is_always_in_range() {
+        let mut r = Xoshiro256pp::seed_from_u64(11);
+        for n in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges_roughly_uniformly() {
+        let mut r = Xoshiro256pp::seed_from_u64(5);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Xoshiro256pp::seed_from_u64(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefixes() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = a.clone();
+        b.jump();
+        let pa: std::collections::HashSet<u64> = (0..4096).map(|_| a.next_u64()).collect();
+        assert!((0..4096).all(|_| !pa.contains(&b.next_u64())));
+    }
+
+    #[test]
+    fn children_are_reproducible_and_distinct() {
+        for i in 0..32u64 {
+            let mut a = Xoshiro256pp::child(99, i);
+            let mut b = Xoshiro256pp::child(99, i);
+            assert_eq!(
+                (0..32).map(|_| a.next_u64()).collect::<Vec<_>>(),
+                (0..32).map(|_| b.next_u64()).collect::<Vec<_>>(),
+            );
+        }
+        let first: Vec<u64> = (0..32)
+            .map(|i| Xoshiro256pp::child(99, i).next_u64())
+            .collect();
+        let distinct: std::collections::HashSet<&u64> = first.iter().collect();
+        assert_eq!(distinct.len(), first.len(), "child streams collided");
+    }
+}

@@ -97,7 +97,7 @@ impl CmpConfig {
             assert!(bw > 0.0, "memory bandwidth must be positive");
         }
         assert!(
-            self.cores_per_island > 0 && self.cores.is_multiple_of(self.cores_per_island),
+            self.cores_per_island > 0 && self.cores % self.cores_per_island == 0,
             "cores ({}) must divide evenly into islands of {}",
             self.cores,
             self.cores_per_island

@@ -1,72 +1,61 @@
-//! Property-based tests for the simulator substrate.
+//! Property-based tests for the simulator substrate, on the in-tree
+//! `cpm_rng::check` harness.
 
+use cpm_rng::{check, Xoshiro256pp};
 use cpm_sim::cache::Cache;
 use cpm_sim::core_model::CoreModel;
 use cpm_sim::stats::TimeSeries;
 use cpm_units::{Hertz, Seconds};
 use cpm_workloads::{BenchmarkProfile, InputSet};
-use proptest::prelude::*;
 
-fn any_profile() -> impl Strategy<Value = BenchmarkProfile> {
-    (
-        0.5..2.0f64,  // base_cpi
-        0.0..20.0f64, // l2_mpki
-        0.0..30.0f64, // extra l1 over l2
-        0.3..1.0f64,  // activity
-        0.0..0.3f64,  // variability
-    )
-        .prop_map(
-            |(base_cpi, l2, l1_extra, activity, variability)| BenchmarkProfile {
-                name: "prop",
-                short: "prop",
-                description: "generated",
-                input: InputSet::SimLarge,
-                base_cpi,
-                l1_mpki: l2 + l1_extra,
-                l2_mpki: l2,
-                activity,
-                working_set: 4 << 20,
-                stream_fraction: 0.3,
-                phase_period: 0.05,
-                variability,
-            },
-        )
+fn any_profile(rng: &mut Xoshiro256pp) -> BenchmarkProfile {
+    let l2 = rng.f64_in(0.0, 20.0);
+    BenchmarkProfile {
+        name: "prop",
+        short: "prop",
+        description: "generated",
+        input: InputSet::SimLarge,
+        base_cpi: rng.f64_in(0.5, 2.0),
+        l1_mpki: l2 + rng.f64_in(0.0, 30.0),
+        l2_mpki: l2,
+        activity: rng.f64_in(0.3, 1.0),
+        working_set: 4 << 20,
+        stream_fraction: 0.3,
+        phase_period: 0.05,
+        variability: rng.f64_in(0.0, 0.3),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_accounting_is_exact(
-        addrs in prop::collection::vec(0u64..1_000_000, 1..2000),
-    ) {
+#[test]
+fn cache_accounting_is_exact() {
+    check::forall_cases("cache accounting", 64, |rng| {
+        let addrs = check::vec_u64(rng, 1_000_000, 1, 2000);
         let mut c = Cache::new(16 * 1024, 2, 64);
         for &a in &addrs {
             c.access(a);
         }
-        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
-    }
+        assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    });
+}
 
-    #[test]
-    fn cache_is_deterministic(
-        addrs in prop::collection::vec(0u64..100_000, 1..500),
-    ) {
+#[test]
+fn cache_is_deterministic() {
+    check::forall_cases("cache determinism", 64, |rng| {
+        let addrs = check::vec_u64(rng, 100_000, 1, 500);
         let mut a = Cache::new(4096, 4, 64);
         let mut b = Cache::new(4096, 4, 64);
         for &addr in &addrs {
-            prop_assert_eq!(a.access(addr), b.access(addr));
+            assert_eq!(a.access(addr), b.access(addr));
         }
-    }
+    });
+}
 
-    #[test]
-    fn resident_set_always_hits_after_warmup(
-        lines in prop::collection::vec(0u64..32, 1..200),
-    ) {
-        // 32 distinct lines fit trivially in 16 KB/2-way (256 lines, 128
-        // sets → at most 1 line per set here... not guaranteed; but 32
-        // lines over 128 sets with 2 ways can collide at most 2 deep only
-        // if >2 map to one set — with line indices < 32 and 128 sets, each
-        // line maps to a distinct set. So after one touch, everything hits.
+#[test]
+fn resident_set_always_hits_after_warmup() {
+    check::forall_cases("resident set hits", 64, |rng| {
+        // 32 distinct lines over 128 sets: each line maps to its own set,
+        // so after one touch everything hits.
+        let lines = check::vec_u64(rng, 32, 1, 200);
         let mut c = Cache::new(16 * 1024, 2, 64);
         for l in 0u64..32 {
             c.access(l * 64);
@@ -75,48 +64,54 @@ proptest! {
         for &l in &lines {
             c.access(l * 64);
         }
-        prop_assert_eq!(c.misses(), 0);
-    }
+        assert_eq!(c.misses(), 0);
+    });
+}
 
-    #[test]
-    fn core_instructions_monotone_in_frequency(
-        profile in any_profile(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn core_instructions_monotone_in_frequency() {
+    check::forall_cases("instructions monotone in f", 64, |rng| {
         // Same seed → same phases; higher clock must never retire fewer
         // instructions over the same wall-clock window.
+        let profile = any_profile(rng);
+        let seed = rng.below(1000);
         let dt = Seconds::from_ms(0.5);
         let mut totals = Vec::new();
         for mhz in [600.0, 1200.0, 2000.0] {
             let mut core = CoreModel::new(profile.clone(), seed, 0);
             let t: f64 = (0..20)
-                .map(|_| core.step(Hertz::from_mhz(mhz), dt, Seconds::ZERO).instructions)
+                .map(|_| {
+                    core.step(Hertz::from_mhz(mhz), dt, Seconds::ZERO)
+                        .instructions
+                })
                 .sum();
             totals.push(t);
         }
-        prop_assert!(totals[0] < totals[1] && totals[1] < totals[2], "{totals:?}");
-    }
+        assert!(totals[0] < totals[1] && totals[1] < totals[2], "{totals:?}");
+    });
+}
 
-    #[test]
-    fn core_utilization_and_activity_stay_in_unit_range(
-        profile in any_profile(),
-        seed in 0u64..1000,
-        mhz in 600.0..2000.0f64,
-    ) {
+#[test]
+fn core_utilization_and_activity_stay_in_unit_range() {
+    check::forall_cases("core outputs in range", 64, |rng| {
+        let profile = any_profile(rng);
+        let seed = rng.below(1000);
+        let mhz = rng.f64_in(600.0, 2000.0);
         let mut core = CoreModel::new(profile, seed, 1);
         for _ in 0..50 {
             let s = core.step(Hertz::from_mhz(mhz), Seconds::from_ms(0.5), Seconds::ZERO);
-            prop_assert!((0.0..=1.0).contains(&s.utilization.value()));
-            prop_assert!((0.0..=1.0).contains(&s.activity.value()));
-            prop_assert!(s.instructions >= 0.0);
+            assert!((0.0..=1.0).contains(&s.utilization.value()));
+            assert!((0.0..=1.0).contains(&s.activity.value()));
+            assert!(s.instructions >= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn freeze_reduces_instructions_proportionally(
-        profile in any_profile(),
-        freeze_frac in 0.0..1.0f64,
-    ) {
+#[test]
+fn freeze_reduces_instructions_proportionally() {
+    check::forall_cases("freeze proportional", 64, |rng| {
+        let profile = any_profile(rng);
+        let freeze_frac = rng.next_f64();
         let dt = Seconds::from_ms(0.5);
         let f = Hertz::from_ghz(1.0);
         let mut a = CoreModel::new(profile.clone(), 7, 0);
@@ -124,36 +119,40 @@ proptest! {
         let sa = a.step(f, dt, Seconds::ZERO);
         let sb = b.step(f, dt, dt * freeze_frac);
         let expected = sa.instructions * (1.0 - freeze_frac);
-        prop_assert!((sb.instructions - expected).abs() < 1e-6 * (1.0 + expected));
-    }
+        assert!((sb.instructions - expected).abs() < 1e-6 * (1.0 + expected));
+    });
+}
 
-    #[test]
-    fn timeseries_mean_bounded_by_min_max(
-        vals in prop::collection::vec(-100.0..100.0f64, 1..200),
-    ) {
+#[test]
+fn timeseries_mean_bounded_by_min_max() {
+    check::forall_cases("timeseries mean bounds", 64, |rng| {
+        let vals = check::vec_f64(rng, -100.0, 100.0, 1, 200);
         let ts: TimeSeries = vals
             .iter()
             .enumerate()
             .map(|(i, &v)| (Seconds::from_ms(i as f64), v))
             .collect();
         let mean = ts.mean().unwrap();
-        prop_assert!(mean >= ts.min().unwrap() - 1e-9);
-        prop_assert!(mean <= ts.max().unwrap() + 1e-9);
-    }
+        assert!(mean >= ts.min().unwrap() - 1e-9);
+        assert!(mean <= ts.max().unwrap() + 1e-9);
+    });
+}
 
-    #[test]
-    fn chunk_averaging_preserves_the_mean_on_exact_multiples(
-        vals in prop::collection::vec(-50.0..50.0f64, 4..40),
-        chunk in 2usize..4,
-    ) {
+#[test]
+fn chunk_averaging_preserves_the_mean_on_exact_multiples() {
+    check::forall_cases("chunk averaging mean", 64, |rng| {
+        let vals = check::vec_f64(rng, -50.0, 50.0, 4, 40);
+        let chunk = rng.usize_in(2, 4);
         let n = (vals.len() / chunk) * chunk;
-        prop_assume!(n > 0);
+        if n == 0 {
+            return;
+        }
         let ts: TimeSeries = vals[..n]
             .iter()
             .enumerate()
             .map(|(i, &v)| (Seconds::from_ms(i as f64), v))
             .collect();
         let avg = ts.averaged_chunks(chunk);
-        prop_assert!((avg.mean().unwrap() - ts.mean().unwrap()).abs() < 1e-9);
-    }
+        assert!((avg.mean().unwrap() - ts.mean().unwrap()).abs() < 1e-9);
+    });
 }

@@ -32,7 +32,7 @@ impl Floorplan {
         let mut best = (1, n);
         let mut r = 1;
         while r * r <= n {
-            if n.is_multiple_of(r) {
+            if n % r == 0 {
                 best = (r, n / r);
             }
             r += 1;

@@ -17,8 +17,7 @@
 //! consumes these streams to calibrate per-benchmark miss rates.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cpm_rng::Xoshiro256pp;
 
 /// Cache-line size matching the chip configuration (64 B, Table I).
 pub const LINE_BYTES: u64 = 64;
@@ -32,7 +31,7 @@ pub const HOT_DIVISOR: u64 = 32;
 /// A deterministic, seeded address generator for one benchmark.
 #[derive(Debug, Clone)]
 pub struct AddressStream {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     /// Total words in the working set.
     working_words: u64,
     /// Words in the L1-resident tier.
@@ -59,7 +58,9 @@ impl AddressStream {
             .max(16 * 1024 / WORD_BYTES)
             .min(working_words);
         Self {
-            rng: StdRng::seed_from_u64(seed ^ profile.working_set.wrapping_mul(0x2545F4914F6CDD1D)),
+            rng: Xoshiro256pp::seed_from_u64(
+                seed ^ profile.working_set.wrapping_mul(0x2545F4914F6CDD1D),
+            ),
             working_words,
             l1_words,
             hot_words,
@@ -80,20 +81,20 @@ impl AddressStream {
 
     /// The next byte address (word-aligned).
     pub fn next_address(&mut self) -> u64 {
-        let p: f64 = self.rng.gen();
+        let p: f64 = self.rng.next_f64();
         let word = if p < self.p_stream {
             // Streaming walk through the hot region, word by word.
             self.cursor = (self.cursor + 1) % self.hot_words;
             self.cursor
         } else if p < self.p_stream + Self::P_HOT {
             // Scattered reuse within the hot region.
-            self.rng.gen_range(0..self.hot_words)
+            self.rng.below(self.hot_words)
         } else if p < self.p_stream + Self::P_HOT + Self::P_COLD {
             // Cold capacity reference anywhere in the working set.
-            self.rng.gen_range(0..self.working_words)
+            self.rng.below(self.working_words)
         } else {
             // L1-resident tier (stack/locals).
-            self.rng.gen_range(0..self.l1_words)
+            self.rng.below(self.l1_words)
         };
         word * WORD_BYTES
     }

@@ -15,9 +15,8 @@
 //! sequence; the simulator gives every core its own stream id.
 
 use crate::profile::BenchmarkProfile;
+use cpm_rng::Xoshiro256pp;
 use cpm_units::Seconds;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Instantaneous phase multipliers applied to a profile's parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +60,7 @@ impl Level {
 /// A seeded per-core phase sequence for one benchmark.
 #[derive(Debug, Clone)]
 pub struct PhaseGenerator {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     period: f64,
     variability: f64,
     /// Phase offset so co-scheduled copies of one benchmark don't move in
@@ -82,8 +81,8 @@ impl PhaseGenerator {
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(stream.wrapping_mul(0xBF58476D1CE4E5B9))
             ^ (profile.name.len() as u64).wrapping_mul(0x94D049BB133111EB);
-        let mut rng = StdRng::seed_from_u64(mixed);
-        let phase_offset = rng.gen::<f64>() * std::f64::consts::TAU;
+        let mut rng = Xoshiro256pp::seed_from_u64(mixed);
+        let phase_offset = rng.next_f64() * std::f64::consts::TAU;
         Self {
             rng,
             period: profile.phase_period,
@@ -104,8 +103,8 @@ impl PhaseGenerator {
 
         // Markov level switching: geometric dwell with mean `mean_dwell`.
         let p_switch = (dt / self.mean_dwell).min(1.0);
-        if self.rng.gen::<f64>() < p_switch {
-            self.level = match self.rng.gen_range(0..3) {
+        if self.rng.next_f64() < p_switch {
+            self.level = match self.rng.below(3) {
                 0 => Level::Low,
                 1 => Level::Nominal,
                 _ => Level::High,
@@ -120,7 +119,7 @@ impl PhaseGenerator {
         };
 
         // Jitter.
-        let jitter = self.rng.gen_range(-1.0..=1.0) * 0.15;
+        let jitter = self.rng.signed_unit() * 0.15;
 
         // Blend: periodic 50 %, Markov 35 %, jitter 15 %, scaled to the
         // profile's variability.

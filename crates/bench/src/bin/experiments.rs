@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <id> [<id> …]   run the named experiments (table1 … fig19)
 //! experiments all             run everything in paper order, in parallel
+//! experiments trace <cell>    replay one cell with the flight recorder on
 //! experiments list            list experiment ids
 //! ```
 //!
@@ -10,11 +11,24 @@
 //! sets the width; default: available parallelism) and reduces results in
 //! paper order, so **stdout is byte-identical for any worker count** — the
 //! CI determinism gate diffs it across `CPM_WORKERS=1` and `=4`. Progress
-//! and timing go to stderr; the engine telemetry (per-experiment
-//! wall-clock, per-worker utilization) lands in `BENCH_experiments.json`
-//! (override the path with `CPM_BENCH_JSON`).
+//! and timing go to stderr, straight off the sweep's metrics registry; the
+//! engine telemetry (per-experiment wall-clock, per-worker utilization,
+//! the registry snapshot) lands in `BENCH_experiments.json` (override the
+//! path with `CPM_BENCH_JSON`).
+//!
+//! `trace <cell>` replays one sweep cell — `<policy>@<budget>`, e.g.
+//! `perf@80`, `thermal@80`, `variation@90` — with the flight recorder and
+//! metrics registry enabled, and writes three artifacts next to the
+//! working directory (override the directory with `CPM_TRACE_DIR`):
+//! `TRACE_<cell>.jsonl` (the event log), `TRACE_<cell>.csv` (PIC-interval
+//! time series), and `TRACE_<cell>_metrics.json` (the registry snapshot).
+//! Timestamps are simulated time, so the artifacts are byte-identical
+//! across runs and worker counts. Flags: `--rounds N` (default 30) and
+//! `--hotspot-c T` (die-temperature watchdog threshold, default 80).
 
+use cpm_bench::trace::{run_trace, TraceOptions};
 use cpm_bench::{run_all, run_experiment, sweep_json, ALL_EXPERIMENTS};
+use cpm_units::Celsius;
 
 fn run_one(id: &str) {
     match run_experiment(id) {
@@ -26,6 +40,109 @@ fn run_one(id: &str) {
     }
 }
 
+fn run_all_cmd() {
+    let workers = cpm_runtime::Pool::global().workers().max(1);
+    eprintln!(
+        "[experiments] running {} experiments on {workers} worker(s) …",
+        ALL_EXPERIMENTS.len()
+    );
+    let sweep = run_all();
+    for (_, report) in &sweep.reports {
+        print!("{report}");
+    }
+    // Phase timing comes off the metrics registry the sweep published to,
+    // in paper order (the registry holds one gauge per experiment).
+    let snap = sweep.registry.snapshot();
+    for id in ALL_EXPERIMENTS {
+        if let Some(seconds) = snap.gauges.get(&format!("sweep.{id}.seconds")) {
+            eprintln!("[experiments] {id:<12} {seconds:8.2}s");
+        }
+    }
+    let total = snap
+        .gauges
+        .get("sweep.total_seconds")
+        .copied()
+        .unwrap_or(0.0);
+    let jobs = snap.gauges.get("pool.jobs_total").copied().unwrap_or(0.0);
+    eprintln!(
+        "[experiments] sweep total {total:.2}s ({jobs:.0} jobs across {} contexts)",
+        sweep.stats.per_context.len()
+    );
+    let path =
+        std::env::var("CPM_BENCH_JSON").unwrap_or_else(|_| "BENCH_experiments.json".to_string());
+    match std::fs::write(&path, sweep_json(&sweep)) {
+        Ok(()) => eprintln!("[experiments] telemetry written to {path}"),
+        Err(e) => {
+            eprintln!("[experiments] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn trace_cmd(args: &[String]) {
+    let Some(cell) = args.first() else {
+        eprintln!("usage: experiments trace <policy>@<budget> [--rounds N] [--hotspot-c T]");
+        std::process::exit(2);
+    };
+    let mut opts = TraceOptions::default();
+    let mut k = 1;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--rounds" => {
+                opts.rounds = args
+                    .get(k + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--rounds needs a positive integer");
+                        std::process::exit(2);
+                    });
+                k += 2;
+            }
+            "--hotspot-c" => {
+                let t: f64 = args
+                    .get(k + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--hotspot-c needs a temperature in °C");
+                        std::process::exit(2);
+                    });
+                opts.hotspot_threshold = Celsius::new(t);
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown trace flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let artifacts = run_trace(cell, &opts).unwrap_or_else(|e| {
+        eprintln!("[trace] {e}");
+        std::process::exit(2);
+    });
+    let dir = std::env::var("CPM_TRACE_DIR").unwrap_or_else(|_| ".".to_string());
+    let stem = format!("{dir}/TRACE_{}", artifacts.stem);
+    let outputs = [
+        (format!("{stem}.jsonl"), &artifacts.jsonl),
+        (format!("{stem}.csv"), &artifacts.csv),
+        (format!("{stem}_metrics.json"), &artifacts.metrics_json),
+    ];
+    for (path, content) in &outputs {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("[trace] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[trace] wrote {path}");
+    }
+    if artifacts.dropped > 0 {
+        eprintln!(
+            "[trace] ring buffer wrapped: {} oldest events dropped",
+            artifacts.dropped
+        );
+    }
+    eprintln!("[trace] {} events captured", artifacts.events.len());
+    print!("{}", artifacts.metrics_text);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -35,36 +152,10 @@ fn main() {
                 println!("  {id}");
             }
             println!("  all");
+            println!("  trace <policy>@<budget>");
         }
-        Some("all") => {
-            let workers = cpm_runtime::Pool::global().workers().max(1);
-            eprintln!(
-                "[experiments] running {} experiments on {workers} worker(s) …",
-                ALL_EXPERIMENTS.len()
-            );
-            let sweep = run_all();
-            for (_, report) in &sweep.reports {
-                print!("{report}");
-            }
-            for t in &sweep.timings {
-                eprintln!("[experiments] {:<12} {:8.2}s", t.id, t.seconds);
-            }
-            eprintln!(
-                "[experiments] sweep total {:.2}s ({} jobs across {} contexts)",
-                sweep.total_seconds,
-                sweep.stats.total_jobs(),
-                sweep.stats.per_context.len()
-            );
-            let path = std::env::var("CPM_BENCH_JSON")
-                .unwrap_or_else(|_| "BENCH_experiments.json".to_string());
-            match std::fs::write(&path, sweep_json(&sweep)) {
-                Ok(()) => eprintln!("[experiments] telemetry written to {path}"),
-                Err(e) => {
-                    eprintln!("[experiments] failed to write {path}: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
+        Some("all") => run_all_cmd(),
+        Some("trace") => trace_cmd(&args[1..]),
         Some(_) => {
             for id in &args {
                 run_one(id);

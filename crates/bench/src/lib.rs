@@ -18,6 +18,7 @@
 pub mod experiments;
 pub mod microbench;
 pub mod report;
+pub mod trace;
 
 use experiments as ex;
 
@@ -75,7 +76,15 @@ pub struct SweepOutcome {
     pub total_seconds: f64,
     /// Pool utilization snapshot taken when the sweep finished.
     pub stats: cpm_runtime::PoolStats,
+    /// Sweep telemetry on the shared metrics registry: per-experiment
+    /// wall-clock gauges (`sweep.<id>.seconds`), a `sweep.total_seconds`
+    /// gauge, a `sweep.experiment_seconds` histogram, and the pool's
+    /// jobs/steals/busy gauges (see [`cpm_runtime::PoolStats::export`]).
+    pub registry: cpm_obs::Registry,
 }
+
+/// Histogram buckets for per-experiment wall-clock, seconds.
+const EXPERIMENT_SECONDS_BUCKETS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0];
 
 /// Runs every experiment on the global worker pool (sized by
 /// `CPM_WORKERS`, default: available parallelism).
@@ -103,11 +112,31 @@ pub fn run_all_on(pool: &cpm_runtime::Pool) -> SweepOutcome {
         reports.push((*id, report));
         timings.push(ExperimentTiming { id, seconds });
     }
+    let total_seconds = sweep_start.elapsed().as_secs_f64();
+
+    // Sweep telemetry lives on a metrics registry (what `experiments all`
+    // prints and the JSON artifact embeds), not on hand-rolled fields.
+    let registry = cpm_obs::Registry::new();
+    let duration = registry.histogram("sweep.experiment_seconds", EXPERIMENT_SECONDS_BUCKETS);
+    for t in &timings {
+        registry
+            .gauge(&format!("sweep.{}.seconds", t.id))
+            .set(t.seconds);
+        duration.observe(t.seconds);
+    }
+    registry.gauge("sweep.total_seconds").set(total_seconds);
+    registry
+        .counter("sweep.experiments")
+        .add(timings.len() as u64);
+    let stats = pool.stats();
+    stats.export(&registry);
+
     SweepOutcome {
         reports,
         timings,
-        total_seconds: sweep_start.elapsed().as_secs_f64(),
-        stats: pool.stats(),
+        total_seconds,
+        stats,
+        registry,
     }
 }
 
@@ -158,7 +187,20 @@ pub fn sweep_json(sweep: &SweepOutcome) -> String {
             num(sweep.stats.utilization(k))
         ));
     }
-    s.push_str("    ]\n  }\n}\n");
+    s.push_str("    ]\n  },\n");
+    // Additive key (schema stays backward-compatible): the full metrics
+    // snapshot, re-indented to nest under the artifact object.
+    let snap = sweep.registry.snapshot().to_json();
+    let mut nested = String::new();
+    for (k, line) in snap.trim_end().lines().enumerate() {
+        if k > 0 {
+            nested.push_str("  ");
+        }
+        nested.push_str(line);
+        nested.push('\n');
+    }
+    s.push_str(&format!("  \"metrics\": {}", nested.trim_end()));
+    s.push_str("\n}\n");
     s
 }
 
@@ -218,15 +260,26 @@ mod tests {
                     3
                 ],
             },
+            registry: cpm_obs::Registry::new(),
         };
+        sweep.registry.gauge("sweep.total_seconds").set(0.3);
         let json = sweep_json(&sweep);
+        // The pre-registry schema must survive unchanged (consumers parse
+        // these keys); `metrics` is the only addition.
         for needle in [
             "\"workers\": 2",
+            "\"total_seconds\": 0.300000",
+            "\"experiments\": [",
             "\"id\": \"table1\"",
             "\"seconds\": 0.250000",
+            "\"pool\": {",
+            "\"elapsed_seconds\": 0.400000",
+            "\"total_jobs\": 9",
+            "\"contexts\": [",
             "\"role\": \"caller\"",
             "\"steals\": 1",
             "\"utilization\": 0.500000",
+            "\"metrics\": {",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -44,7 +44,7 @@ pub use complex::Complex;
 pub use freq::FrequencyResponse;
 pub use jury::{is_stable_jury, jury_test, JuryResult};
 pub use locus::RootLocus;
-pub use pid::{Pid, PidGains};
+pub use pid::{Pid, PidGains, PidTerms};
 pub use poly::Polynomial;
 pub use sysid::{
     fit_gain_through_origin, LinearFit, LinearRegression, QuadraticFit, QuadraticRegression,

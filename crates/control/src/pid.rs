@@ -87,6 +87,20 @@ impl PidGains {
     }
 }
 
+/// One invocation's control output broken into its three terms
+/// (telemetry view of Eq. 7; `output = p + i + d`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidTerms {
+    /// Proportional term `K_P·e(t)`.
+    pub p: f64,
+    /// Integral term `K_I·Σ_{u<t} e(u)`.
+    pub i: f64,
+    /// Derivative term `K_D·(e(t) − e(t−1))`.
+    pub d: f64,
+    /// The control output `u(t)`.
+    pub output: f64,
+}
+
 /// A stateful PID controller instance.
 ///
 /// ```
@@ -143,18 +157,31 @@ impl Pid {
     /// Advances the controller one invocation with the current error
     /// `e(t) = reference − measurement`, returning the control output `u(t)`.
     pub fn step(&mut self, error: f64) -> f64 {
+        self.step_terms(error).output
+    }
+
+    /// Like [`Pid::step`], but returns the P/I/D decomposition alongside the
+    /// output — the flight recorder's view into the control law.
+    pub fn step_terms(&mut self, error: f64) -> PidTerms {
         let derivative = if self.started {
             error - self.prev_error
         } else {
             // First invocation: no previous sample, so no derivative kick.
             0.0
         };
-        let u = self.gains.kp * error + self.gains.ki * self.integral + self.gains.kd * derivative;
+        let p = self.gains.kp * error;
+        let i = self.gains.ki * self.integral;
+        let d = self.gains.kd * derivative;
         // Post-update so the integral term covers u = 0..t-1 as in Eq. 7.
         self.integral = (self.integral + error).clamp(-self.integral_limit, self.integral_limit);
         self.prev_error = error;
         self.started = true;
-        u
+        PidTerms {
+            p,
+            i,
+            d,
+            output: p + i + d,
+        }
     }
 
     /// Back-calculation anti-windup: informs the controller that
@@ -218,6 +245,17 @@ mod tests {
             assert!((pid.step(e) - expect).abs() < 1e-12);
             integral += e;
             prev = e;
+        }
+    }
+
+    #[test]
+    fn step_terms_decomposition_sums_to_step() {
+        let mut a = Pid::new(PidGains::paper()).with_integral_limit(2.0);
+        let mut b = Pid::new(PidGains::paper()).with_integral_limit(2.0);
+        for &e in &[1.0, 0.5, -0.25, 2.0, -1.5] {
+            let terms = a.step_terms(e);
+            assert!((terms.p + terms.i + terms.d - terms.output).abs() < 1e-15);
+            assert_eq!(terms.output, b.step(e), "step must match step_terms");
         }
     }
 

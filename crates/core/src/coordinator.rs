@@ -28,10 +28,12 @@ use crate::policies::qos::{QosAware, QosClass};
 use crate::policies::thermal::{ThermalAware, ThermalConstraints, ViolationStats};
 use crate::policies::variation::VariationAware;
 use cpm_control::PidGains;
+use cpm_obs::{EventPayload, Recorder, Registry};
 use cpm_power::variation::VariationMap;
 use cpm_power::EnergyAccount;
 use cpm_sim::{Chip, CmpConfig, TimeSeries};
-use cpm_units::{IslandId, Ratio, Seconds, Watts};
+use cpm_thermal::HotspotTracker;
+use cpm_units::{Celsius, IslandId, Ratio, Seconds, Watts};
 use cpm_workloads::{Mix, WorkloadAssignment};
 
 /// How the PIC senses power (re-exported for the public API).
@@ -311,6 +313,14 @@ pub struct Coordinator {
     /// Current island allocations (watts).
     alloc: Vec<Watts>,
     calibrated: bool,
+    /// Flight-recorder handle shared with the GPM, PICs, policies, and the
+    /// hotspot tracker (disabled by default).
+    recorder: Recorder,
+    /// Metrics registry (always present — instruments are only touched at
+    /// interval granularity, never per PIC step).
+    registry: Registry,
+    /// Optional die-temperature watchdog observed every PIC interval.
+    hotspot: Option<HotspotTracker>,
 }
 
 impl Coordinator {
@@ -398,7 +408,54 @@ impl Coordinator {
             reference_power,
             alloc: vec![budget / islands as f64; islands],
             calibrated: false,
+            recorder: Recorder::disabled(),
+            registry: Registry::new(),
+            hotspot: None,
         })
+    }
+
+    /// Attaches a flight-recorder handle and threads it through the whole
+    /// management stack: the GPM (and its policy), every PIC, and the
+    /// hotspot tracker if one is attached. The coordinator advances the
+    /// recorder's ambient simulated clock as the chip steps, and emits
+    /// `WorkerSpan` events for the calibrate/settle/measure phases.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        if let Manager::Cpm { gpm, pics } = &mut self.manager {
+            gpm.set_recorder(recorder.clone());
+            for pic in pics.iter_mut() {
+                pic.set_recorder(recorder.clone());
+            }
+        }
+        if let Some(h) = &mut self.hotspot {
+            h.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// Shares a metrics registry with the coordinator (replacing its
+    /// private one). Run-level instruments — GPM/PIC invocation counts,
+    /// thermal statistics — are published here after each measurement.
+    pub fn set_registry(&mut self, registry: Registry) {
+        self.registry = registry;
+    }
+
+    /// The coordinator's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Attaches a die-temperature watchdog: every PIC interval the chip's
+    /// node temperatures are checked against `threshold`, and each hotspot
+    /// onset emits a `ThermalViolation` event when a recorder is attached.
+    pub fn attach_hotspot_tracker(&mut self, threshold: Celsius) {
+        let mut tracker = HotspotTracker::new(self.cfg.cmp.cores, threshold);
+        tracker.set_recorder(self.recorder.clone());
+        self.hotspot = Some(tracker);
+    }
+
+    /// The attached die-temperature watchdog, if any.
+    pub fn hotspot_tracker(&self) -> Option<&HotspotTracker> {
+        self.hotspot.as_ref()
     }
 
     /// Measures the chip's *required* power: a deterministic unmanaged
@@ -599,9 +656,40 @@ impl Coordinator {
     /// outcome (calibrating first if needed).
     pub fn run_for_gpm_intervals(&mut self, n: usize) -> Outcome {
         if !self.calibrated {
+            // Calibration and settle-in chatter is not part of the measured
+            // story: blank the recorder, then log the phases as spans.
+            self.recorder.pause();
+            let t0 = self.chip.time().value();
             self.calibrate();
+            let t1 = self.chip.time().value();
             self.settle_in();
+            let t2 = self.chip.time().value();
+            self.recorder.resume();
+            self.recorder.set_time(t2);
+            self.recorder.record(EventPayload::WorkerSpan {
+                worker: 0,
+                label: "calibrate",
+                start_s: t0,
+                end_s: t1,
+            });
+            self.recorder.record(EventPayload::WorkerSpan {
+                worker: 0,
+                label: "settle",
+                start_s: t1,
+                end_s: t2,
+            });
         }
+        let measure_start = self.chip.time().value();
+        self.recorder.set_time(measure_start);
+        // Invocation counts already published by earlier measurements on
+        // this coordinator must not be re-added.
+        let (gpm_before, pic_before) = match &self.manager {
+            Manager::Cpm { gpm, pics } => (
+                gpm.invocations(),
+                pics.iter().map(|p| p.invocations()).sum::<u64>(),
+            ),
+            _ => (0, 0),
+        };
         let islands = self.cfg.cmp.islands();
         let pics_per_gpm = self.cfg.cmp.pics_per_gpm();
         let budget = self.budget();
@@ -720,6 +808,10 @@ impl Coordinator {
             for _k in 0..pics_per_gpm {
                 let snap = self.chip.step_pic();
                 let t = snap.time;
+                self.recorder.set_time(t.value());
+                if let Some(h) = &mut self.hotspot {
+                    h.observe(&snap.temperatures, snap.dt);
+                }
                 for (i, isl) in snap.islands.iter().enumerate() {
                     acc_power[i] += isl.power;
                     acc_instr[i] += isl.instructions;
@@ -770,7 +862,46 @@ impl Coordinator {
         // Violation stats from thermal-aware runs are carried by the policy;
         // surfaced via `thermal_stats`.
         out.violations = self.thermal_stats();
+        let measure_end = self.chip.time().value();
+        self.recorder.set_time(measure_end);
+        self.recorder.record(EventPayload::WorkerSpan {
+            worker: 0,
+            label: "measure",
+            start_s: measure_start,
+            end_s: measure_end,
+        });
+        self.publish_metrics(&out, n as u64, gpm_before, pic_before);
         out
+    }
+
+    /// Publishes run-level instruments to the registry (called once per
+    /// measurement, never on the hot path).
+    fn publish_metrics(&self, out: &Outcome, rounds: u64, gpm_before: u64, pic_before: u64) {
+        let r = &self.registry;
+        r.counter("coordinator.gpm_rounds").add(rounds);
+        if let Manager::Cpm { gpm, pics } = &self.manager {
+            r.counter("gpm.invocations")
+                .add(gpm.invocations() - gpm_before);
+            r.counter("pic.invocations")
+                .add(pics.iter().map(|p| p.invocations()).sum::<u64>() - pic_before);
+        }
+        r.gauge("chip.budget_percent").set(out.budget_percent());
+        r.gauge("chip.mean_power_percent")
+            .set(out.mean_chip_power_percent());
+        if let Some(v) = &out.violations {
+            r.counter("thermal.violated_intervals")
+                .add(v.violated_intervals);
+        }
+        if let Some(h) = &self.hotspot {
+            r.counter("thermal.hotspot_events").add(h.events() as u64);
+            r.gauge("thermal.hotspot_violation_fraction")
+                .set(h.violation_fraction());
+        }
+        let err = out.chip_tracking_error();
+        r.gauge("tracking.chip_mean_abs_error_percent")
+            .set(err.mean_abs_error_percent);
+        r.counter("tracking.skipped_samples")
+            .add(err.skipped_samples as u64);
     }
 
     /// Violation statistics when running the thermal-aware policy.

@@ -12,6 +12,7 @@
 //!   (water-filling), and
 //! * the total never exceeds the chip budget.
 
+use cpm_obs::{EventPayload, Recorder};
 use cpm_units::{IslandId, Joules, Ratio, Watts};
 
 /// What the GPM observed about one island over the last GPM interval.
@@ -71,6 +72,10 @@ pub trait ProvisioningPolicy {
     fn violation_stats(&self) -> Option<&ViolationStats> {
         None
     }
+
+    /// Attaches a flight-recorder handle, for policies that emit events
+    /// (default: ignore it).
+    fn set_recorder(&mut self, _recorder: Recorder) {}
 }
 
 /// Physical allocation bounds for one island.
@@ -89,6 +94,7 @@ pub struct GlobalPowerManager {
     policy: Box<dyn ProvisioningPolicy + Send>,
     ranges: Vec<IslandRange>,
     invocations: u64,
+    recorder: Recorder,
 }
 
 impl GlobalPowerManager {
@@ -114,7 +120,17 @@ impl GlobalPowerManager {
             policy,
             ranges,
             invocations: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; every `provision` then emits one
+    /// [`EventPayload::GpmAllocation`] per island. The handle is also
+    /// forwarded to the policy so constraint trackers and explorers share
+    /// the same trace.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.policy.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The chip-wide budget.
@@ -168,7 +184,19 @@ impl GlobalPowerManager {
             self.ranges.len(),
             "policy must allocate every island"
         );
-        self.normalize(raw)
+        let alloc = self.normalize(raw);
+        if self.recorder.is_enabled() {
+            for (island, (a, fb)) in alloc.iter().zip(feedback).enumerate() {
+                self.recorder.record(EventPayload::GpmAllocation {
+                    round: self.invocations,
+                    island: island as u32,
+                    allocated_w: a.value(),
+                    actual_w: fb.actual_power.value(),
+                    budget_w: self.budget.value(),
+                });
+            }
+        }
+        alloc
     }
 
     /// Clamps each allocation into its island's physical range and, when

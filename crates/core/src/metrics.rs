@@ -15,8 +15,16 @@ pub struct TrackingSummary {
     pub max_overshoot_percent: f64,
     /// Largest excursion below target, percent of the target level.
     pub max_undershoot_percent: f64,
-    /// Mean |error|, percent of the target level.
+    /// Mean |error|, percent of the target level, over the *compared*
+    /// samples only.
     pub mean_abs_error_percent: f64,
+    /// Samples that entered the error statistics.
+    pub compared_samples: usize,
+    /// Samples excluded because their target was non-positive (a relative
+    /// error against a zero target is undefined). A large count means the
+    /// summary describes only a sliver of the run — check before trusting
+    /// a "perfect" score.
+    pub skipped_samples: usize,
 }
 
 impl TrackingSummary {
@@ -37,21 +45,31 @@ impl TrackingSummary {
             max_overshoot_percent: over * 100.0,
             max_undershoot_percent: under * 100.0,
             mean_abs_error_percent: abs_sum / actual.len() as f64 * 100.0,
+            compared_samples: actual.len(),
+            skipped_samples: 0,
         }
     }
 
     /// Quality against a paired, time-varying target (island tracking of
-    /// GPM allocations, Fig. 8).
+    /// GPM allocations, Fig. 8). Samples whose target is non-positive
+    /// cannot contribute a relative error; they are excluded from the
+    /// statistics and *counted* in [`TrackingSummary::skipped_samples`]
+    /// so a mostly-zero target series cannot masquerade as perfect
+    /// tracking. The mean is taken over the compared samples only.
     pub fn against_series(actual: &TimeSeries, target: &TimeSeries) -> Self {
         assert_eq!(actual.len(), target.len(), "paired series must align");
         assert!(!actual.is_empty(), "empty trace");
         let mut over: f64 = 0.0;
         let mut under: f64 = 0.0;
         let mut abs_sum = 0.0;
+        let mut compared = 0usize;
+        let mut skipped = 0usize;
         for (a, t) in actual.samples().iter().zip(target.samples()) {
             if t.value <= 0.0 {
+                skipped += 1;
                 continue;
             }
+            compared += 1;
             let e = (a.value - t.value) / t.value;
             over = over.max(e);
             under = under.max(-e);
@@ -60,7 +78,13 @@ impl TrackingSummary {
         Self {
             max_overshoot_percent: over * 100.0,
             max_undershoot_percent: under * 100.0,
-            mean_abs_error_percent: abs_sum / actual.len() as f64 * 100.0,
+            mean_abs_error_percent: if compared > 0 {
+                abs_sum / compared as f64 * 100.0
+            } else {
+                0.0
+            },
+            compared_samples: compared,
+            skipped_samples: skipped,
         }
     }
 }
@@ -240,6 +264,31 @@ mod tests {
         let s = TrackingSummary::against_series(&a, &t);
         assert!((s.max_overshoot_percent - 10.0).abs() < 1e-9);
         assert_eq!(s.max_undershoot_percent, 0.0);
+        assert_eq!(s.compared_samples, 3);
+        assert_eq!(s.skipped_samples, 0);
+    }
+
+    #[test]
+    fn skipped_targets_are_counted_and_excluded_from_the_mean() {
+        // Three zero-target samples and one real 10 % miss. The old code
+        // divided by the full length, diluting the mean to 2.5 % and saying
+        // nothing about the zeros.
+        let a = series(&[5.0, 5.0, 5.0, 22.0]);
+        let t = series(&[0.0, 0.0, -1.0, 20.0]);
+        let s = TrackingSummary::against_series(&a, &t);
+        assert_eq!(s.skipped_samples, 3);
+        assert_eq!(s.compared_samples, 1);
+        assert!((s.mean_abs_error_percent - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_targets_skipped_is_not_perfect_tracking() {
+        let a = series(&[5.0, 5.0]);
+        let t = series(&[0.0, 0.0]);
+        let s = TrackingSummary::against_series(&a, &t);
+        assert_eq!(s.compared_samples, 0);
+        assert_eq!(s.skipped_samples, 2, "the zeros must be visible");
+        assert_eq!(s.mean_abs_error_percent, 0.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! shift the true gain.
 
 use cpm_control::{Pid, PidGains};
+use cpm_obs::{EventPayload, Recorder};
 use cpm_power::dvfs::DvfsTable;
 use cpm_power::UtilizationPowerTransducer;
 use cpm_units::{IslandId, Ratio, Watts};
@@ -80,6 +81,8 @@ pub struct PerIslandController {
     /// die temperature put under it.
     sensor_offset: f64,
     invocations: u64,
+    /// Flight-recorder handle (disabled by default: one branch per invoke).
+    recorder: Recorder,
 }
 
 impl PerIslandController {
@@ -124,7 +127,15 @@ impl PerIslandController {
             target: island_max_power,
             sensor_offset: 0.0,
             invocations: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; every `invoke` then emits a
+    /// [`EventPayload::PicStep`] and every `rezero` a
+    /// [`EventPayload::TransducerRezero`].
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Enables online plant-gain adaptation. The estimate is clamped to
@@ -210,6 +221,11 @@ impl PerIslandController {
         // intervals, slow enough not to chase within-interval noise.
         const ALPHA: f64 = 0.4;
         self.sensor_offset += ALPHA * (err - self.sensor_offset);
+        self.recorder.record(EventPayload::TransducerRezero {
+            island: self.island.0 as u32,
+            residual_w: err,
+            offset_w: self.sensor_offset,
+        });
     }
 
     /// The current sensing-bias correction (watts); zero until `rezero`
@@ -226,7 +242,8 @@ impl PerIslandController {
             self.learn_gain(measured);
         }
         let error = (self.target - measured).value() / self.island_max_power.value();
-        let u = self.pid.step(error);
+        let terms = self.pid.step_terms(error);
+        let u = terms.output;
         let desired = u / self.plant_gain;
         let before = self.f_norm;
         self.f_norm = (self.f_norm + desired.clamp(-self.max_step, self.max_step)).clamp(0.0, 1.0);
@@ -236,7 +253,18 @@ impl PerIslandController {
         self.pid.back_calculate(u - realized * self.plant_gain);
         self.prev_f_norm = before;
         self.invocations += 1;
-        self.current_index()
+        let index = self.current_index();
+        self.recorder.record(EventPayload::PicStep {
+            island: self.island.0 as u32,
+            error,
+            p_term: terms.p,
+            i_term: terms.i,
+            d_term: terms.d,
+            output: u,
+            dvfs_index: index as u32,
+            saturated: (realized - desired).abs() > 1e-12,
+        });
+        index
     }
 
     /// One step of the online gain estimator: regress the normalized power

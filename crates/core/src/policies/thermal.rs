@@ -15,6 +15,7 @@
 //! violations".
 
 use crate::gpm::{IslandFeedback, ProvisioningPolicy};
+use cpm_obs::{EventPayload, Recorder, ThermalSource};
 use cpm_units::{IslandId, Watts};
 
 pub use crate::gpm::ViolationStats;
@@ -79,6 +80,7 @@ pub struct ConstraintTracker {
     single_streaks: Vec<usize>,
     pair_streaks: Vec<usize>,
     stats: ViolationStats,
+    recorder: Recorder,
 }
 
 impl ConstraintTracker {
@@ -95,7 +97,14 @@ impl ConstraintTracker {
             pair_streaks: vec![0; constraints.adjacent_pairs.len()],
             constraints,
             stats: ViolationStats::default(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; completed violation streaks then
+    /// emit [`EventPayload::ThermalViolation`] events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The constraint set.
@@ -115,11 +124,18 @@ impl ConstraintTracker {
         self.stats.intervals += 1;
         let mut violated = false;
         let single_cap = budget.value() * self.constraints.single_cap;
-        for (streak, a) in self.single_streaks.iter_mut().zip(alloc) {
+        for (i, (streak, a)) in self.single_streaks.iter_mut().zip(alloc).enumerate() {
             if a.value() > single_cap + 1e-9 {
                 *streak += 1;
                 if *streak >= self.constraints.single_streak {
                     violated = true;
+                    self.recorder.record(EventPayload::ThermalViolation {
+                        source: ThermalSource::SingleIslandCap,
+                        island: i as u32,
+                        partner: u32::MAX,
+                        value: a.value(),
+                        limit: single_cap,
+                    });
                 }
             } else {
                 *streak = 0;
@@ -132,6 +148,13 @@ impl ConstraintTracker {
                 self.pair_streaks[k] += 1;
                 if self.pair_streaks[k] >= self.constraints.pair_streak {
                     violated = true;
+                    self.recorder.record(EventPayload::ThermalViolation {
+                        source: ThermalSource::AdjacentPairCap,
+                        island: a.index() as u32,
+                        partner: b.index() as u32,
+                        value: joint,
+                        limit: pair_cap,
+                    });
                 }
             } else {
                 self.pair_streaks[k] = 0;
@@ -232,6 +255,10 @@ impl ProvisioningPolicy for ThermalAware {
 
     fn violation_stats(&self) -> Option<&ViolationStats> {
         Some(self.tracker.stats())
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.tracker.set_recorder(recorder);
     }
 }
 

@@ -18,6 +18,7 @@
 //! islands at higher V/F levels".
 
 use crate::gpm::{IslandFeedback, ProvisioningPolicy};
+use cpm_obs::{EventPayload, Recorder};
 use cpm_units::Watts;
 
 /// Per-island explorer state.
@@ -54,6 +55,7 @@ pub struct VariationAware {
     hold_intervals: usize,
     /// Allocation-level bounds as fractions of the equal share.
     level_range: (f64, f64),
+    recorder: Recorder,
 }
 
 impl VariationAware {
@@ -78,6 +80,7 @@ impl VariationAware {
             step,
             hold_intervals,
             level_range,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -98,13 +101,19 @@ impl ProvisioningPolicy for VariationAware {
         "variation-aware"
     }
 
+    /// Attaching a recorder makes every search-direction reversal emit a
+    /// [`EventPayload::PolicyHoldReversal`].
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     fn provision(&mut self, budget: Watts, feedback: &[IslandFeedback]) -> Vec<Watts> {
         let n = feedback.len();
         if self.explorers.len() != n {
             self.explorers = vec![Explorer::new(); n];
         }
         let equal_share = budget.value() / n as f64;
-        for (e, fb) in self.explorers.iter_mut().zip(feedback) {
+        for (i, (e, fb)) in self.explorers.iter_mut().zip(feedback).enumerate() {
             let epi = fb.epi.map(|j| j.value());
             if e.hold > 0 {
                 e.hold -= 1;
@@ -117,6 +126,13 @@ impl ProvisioningPolicy for VariationAware {
                     e.direction = -e.direction;
                     e.level += e.direction * self.step;
                     e.hold = self.hold_intervals;
+                    self.recorder.record(EventPayload::PolicyHoldReversal {
+                        island: i as u32,
+                        level: e.level.clamp(self.level_range.0, self.level_range.1),
+                        epi_now: now,
+                        epi_prev: prev,
+                        hold_intervals: self.hold_intervals as u32,
+                    });
                 }
                 e.level = e.level.clamp(self.level_range.0, self.level_range.1);
             } else if epi.is_some() {

@@ -1,0 +1,237 @@
+//! Typed flight-recorder events.
+//!
+//! Every event carries a simulated-time timestamp (seconds) and a global
+//! sequence number assigned at record time; the payload is one of a small
+//! closed taxonomy covering the GPM/PIC control stack:
+//!
+//! * [`EventPayload::GpmAllocation`] — one island's provisioning decision
+//!   at a GPM invocation,
+//! * [`EventPayload::PicStep`] — one PIC invocation with the PID
+//!   internals (error, P/I/D terms, actuator saturation),
+//! * [`EventPayload::TransducerRezero`] — the GPM-granularity sensing
+//!   bias trim applied to a PIC's fast transducer,
+//! * [`EventPayload::ThermalViolation`] — a thermal constraint or die
+//!   threshold crossing,
+//! * [`EventPayload::PolicyHoldReversal`] — the variation-aware policy
+//!   reversing its EPI search direction and entering a hold,
+//! * [`EventPayload::WorkerSpan`] — a labelled span of work attributed to
+//!   an execution context (replay phases, pool jobs).
+//!
+//! Payloads are `Copy` (labels are `&'static str`) so recording never
+//! allocates on the hot path.
+
+/// What raised a [`EventPayload::ThermalViolation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThermalSource {
+    /// A single island exceeded its budget-fraction cap for too many
+    /// consecutive GPM intervals (§IV-A single-island constraint).
+    SingleIslandCap,
+    /// An adjacent island pair jointly exceeded its cap for too many
+    /// consecutive GPM intervals (§IV-A pair constraint).
+    AdjacentPairCap,
+    /// A die node crossed the thermal design threshold (hotspot tracker).
+    DieThreshold,
+}
+
+impl ThermalSource {
+    /// Stable identifier used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThermalSource::SingleIslandCap => "single_island_cap",
+            ThermalSource::AdjacentPairCap => "adjacent_pair_cap",
+            ThermalSource::DieThreshold => "die_threshold",
+        }
+    }
+}
+
+/// The event taxonomy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventPayload {
+    /// One island's allocation at a GPM invocation.
+    GpmAllocation {
+        /// GPM invocation ordinal (1-based; the pre-feedback equal split
+        /// is round 0).
+        round: u64,
+        /// Island index.
+        island: u32,
+        /// Power provisioned for the next interval, watts.
+        allocated_w: f64,
+        /// Mean power the island actually drew over the interval that just
+        /// ended, watts (0 for the initial, feedback-free split).
+        actual_w: f64,
+        /// Chip budget in force, watts.
+        budget_w: f64,
+    },
+    /// One PIC invocation with controller internals.
+    PicStep {
+        /// Island index.
+        island: u32,
+        /// Normalized tracking error fed to the PID.
+        error: f64,
+        /// Proportional term of the control output.
+        p_term: f64,
+        /// Integral term of the control output.
+        i_term: f64,
+        /// Derivative term of the control output.
+        d_term: f64,
+        /// Raw control output `u(t)` before actuation clamps.
+        output: f64,
+        /// DVFS operating-point index actually applied.
+        dvfs_index: u32,
+        /// True when the slew limit or the V/F range clamp refused part of
+        /// the requested move (anti-windup back-calculation engaged).
+        saturated: bool,
+    },
+    /// The coarse per-island meter re-zeroed a PIC's fast transducer.
+    TransducerRezero {
+        /// Island index.
+        island: u32,
+        /// Sensing residual observed this interval (true − sensed), watts.
+        residual_w: f64,
+        /// The EWMA bias correction now in force, watts.
+        offset_w: f64,
+    },
+    /// A thermal constraint or die-temperature threshold was crossed.
+    ThermalViolation {
+        /// What raised the violation.
+        source: ThermalSource,
+        /// Primary island/core index.
+        island: u32,
+        /// Partner island for pair violations (`u32::MAX` when n/a).
+        partner: u32,
+        /// The observed value (watts for caps, °C for die thresholds).
+        value: f64,
+        /// The limit that was exceeded (same unit as `value`).
+        limit: f64,
+    },
+    /// The variation-aware EPI search overshot its optimum: direction
+    /// reversed and the allocation level holds.
+    PolicyHoldReversal {
+        /// Island index.
+        island: u32,
+        /// Allocation level (fraction of the equal share) being held.
+        level: f64,
+        /// EPI that triggered the reversal, joules/instruction.
+        epi_now: f64,
+        /// Previous interval's EPI, joules/instruction.
+        epi_prev: f64,
+        /// GPM intervals the level will hold.
+        hold_intervals: u32,
+    },
+    /// A labelled span of work on an execution context.
+    WorkerSpan {
+        /// Context index (worker id, or 0 for the driving thread).
+        worker: u32,
+        /// Static label, e.g. `"calibrate"` or `"measure"`.
+        label: &'static str,
+        /// Span start, seconds (simulated time for replay phases).
+        start_s: f64,
+        /// Span end, seconds.
+        end_s: f64,
+    },
+}
+
+/// Discriminant-only view of a payload, for counting and golden tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// [`EventPayload::GpmAllocation`].
+    GpmAllocation,
+    /// [`EventPayload::PicStep`].
+    PicStep,
+    /// [`EventPayload::TransducerRezero`].
+    TransducerRezero,
+    /// [`EventPayload::ThermalViolation`].
+    ThermalViolation,
+    /// [`EventPayload::PolicyHoldReversal`].
+    PolicyHoldReversal,
+    /// [`EventPayload::WorkerSpan`].
+    WorkerSpan,
+}
+
+impl EventKind {
+    /// All kinds, in taxonomy order.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::GpmAllocation,
+        EventKind::PicStep,
+        EventKind::TransducerRezero,
+        EventKind::ThermalViolation,
+        EventKind::PolicyHoldReversal,
+        EventKind::WorkerSpan,
+    ];
+
+    /// Stable identifier used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::GpmAllocation => "GpmAllocation",
+            EventKind::PicStep => "PicStep",
+            EventKind::TransducerRezero => "TransducerRezero",
+            EventKind::ThermalViolation => "ThermalViolation",
+            EventKind::PolicyHoldReversal => "PolicyHoldReversal",
+            EventKind::WorkerSpan => "WorkerSpan",
+        }
+    }
+}
+
+impl EventPayload {
+    /// The payload's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            EventPayload::GpmAllocation { .. } => EventKind::GpmAllocation,
+            EventPayload::PicStep { .. } => EventKind::PicStep,
+            EventPayload::TransducerRezero { .. } => EventKind::TransducerRezero,
+            EventPayload::ThermalViolation { .. } => EventKind::ThermalViolation,
+            EventPayload::PolicyHoldReversal { .. } => EventKind::PolicyHoldReversal,
+            EventPayload::WorkerSpan { .. } => EventKind::WorkerSpan,
+        }
+    }
+}
+
+/// One recorded event: global sequence number, simulated-time timestamp,
+/// typed payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Global record-order sequence number (total order across shards).
+    pub seq: u64,
+    /// Simulated time, seconds.
+    pub time_s: f64,
+    /// The typed payload.
+    pub payload: EventPayload,
+}
+
+impl Event {
+    /// The event's kind.
+    pub fn kind(&self) -> EventKind {
+        self.payload.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_names() {
+        for k in EventKind::ALL {
+            assert!(!k.as_str().is_empty());
+        }
+        let p = EventPayload::PicStep {
+            island: 0,
+            error: 0.1,
+            p_term: 0.04,
+            i_term: 0.0,
+            d_term: 0.03,
+            output: 0.07,
+            dvfs_index: 5,
+            saturated: false,
+        };
+        assert_eq!(p.kind(), EventKind::PicStep);
+        assert_eq!(p.kind().as_str(), "PicStep");
+    }
+
+    #[test]
+    fn thermal_sources_have_stable_names() {
+        assert_eq!(ThermalSource::SingleIslandCap.as_str(), "single_island_cap");
+        assert_eq!(ThermalSource::AdjacentPairCap.as_str(), "adjacent_pair_cap");
+        assert_eq!(ThermalSource::DieThreshold.as_str(), "die_threshold");
+    }
+}

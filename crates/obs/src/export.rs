@@ -1,0 +1,347 @@
+//! Exporters: JSONL event traces and CSV time-series.
+//!
+//! Both formats are rendered with a **stable field order and fixed
+//! decimal precision** (`{:.6}`), because the CI determinism lane diffs
+//! exported artifacts byte-for-byte across worker counts. All numbers in
+//! events are finite by construction; non-finite values render as `0.0`
+//! rather than producing invalid JSON.
+
+use crate::event::{Event, EventPayload};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Fixed-precision float formatting shared by both exporters.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Renders one event as a single JSONL line (no trailing newline).
+///
+/// Field order is fixed: `seq`, `t`, `kind`, then payload fields in
+/// declaration order.
+pub fn event_to_jsonl(event: &Event) -> String {
+    let mut s = String::with_capacity(160);
+    let _ = write!(
+        s,
+        "{{\"seq\": {}, \"t\": {}, \"kind\": \"{}\"",
+        event.seq,
+        num(event.time_s),
+        event.kind().as_str()
+    );
+    match event.payload {
+        EventPayload::GpmAllocation {
+            round,
+            island,
+            allocated_w,
+            actual_w,
+            budget_w,
+        } => {
+            let _ = write!(
+                s,
+                ", \"round\": {round}, \"island\": {island}, \"allocated_w\": {}, \"actual_w\": {}, \"budget_w\": {}",
+                num(allocated_w),
+                num(actual_w),
+                num(budget_w)
+            );
+        }
+        EventPayload::PicStep {
+            island,
+            error,
+            p_term,
+            i_term,
+            d_term,
+            output,
+            dvfs_index,
+            saturated,
+        } => {
+            let _ = write!(
+                s,
+                ", \"island\": {island}, \"error\": {}, \"p\": {}, \"i\": {}, \"d\": {}, \"output\": {}, \"dvfs\": {dvfs_index}, \"saturated\": {saturated}",
+                num(error),
+                num(p_term),
+                num(i_term),
+                num(d_term),
+                num(output)
+            );
+        }
+        EventPayload::TransducerRezero {
+            island,
+            residual_w,
+            offset_w,
+        } => {
+            let _ = write!(
+                s,
+                ", \"island\": {island}, \"residual_w\": {}, \"offset_w\": {}",
+                num(residual_w),
+                num(offset_w)
+            );
+        }
+        EventPayload::ThermalViolation {
+            source,
+            island,
+            partner,
+            value,
+            limit,
+        } => {
+            let _ = write!(
+                s,
+                ", \"source\": \"{}\", \"island\": {island}",
+                source.as_str()
+            );
+            if partner != u32::MAX {
+                let _ = write!(s, ", \"partner\": {partner}");
+            }
+            let _ = write!(s, ", \"value\": {}, \"limit\": {}", num(value), num(limit));
+        }
+        EventPayload::PolicyHoldReversal {
+            island,
+            level,
+            epi_now,
+            epi_prev,
+            hold_intervals,
+        } => {
+            let _ = write!(
+                s,
+                ", \"island\": {island}, \"level\": {}, \"epi_now\": {}, \"epi_prev\": {}, \"hold_intervals\": {hold_intervals}",
+                num(level),
+                num(epi_now),
+                num(epi_prev)
+            );
+        }
+        EventPayload::WorkerSpan {
+            worker,
+            label,
+            start_s,
+            end_s,
+        } => {
+            let _ = write!(
+                s,
+                ", \"worker\": {worker}, \"label\": \"{label}\", \"start_s\": {}, \"end_s\": {}",
+                num(start_s),
+                num(end_s)
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders a slice of events as a JSONL document (one event per line,
+/// trailing newline after the last).
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&event_to_jsonl(e));
+        s.push('\n');
+    }
+    s
+}
+
+/// Writes a JSONL event trace to `w`.
+pub fn write_jsonl<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    w.write_all(events_to_jsonl(events).as_bytes())
+}
+
+/// A CSV time-series writer: a header of column names, then rows of
+/// fixed-precision values. Rows shorter than the header are padded with
+/// empty cells so the column count is constant.
+#[derive(Debug, Clone)]
+pub struct CsvSeries {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl CsvSeries {
+    /// A series with the given column names.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows longer than the header are truncated.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = f64>) {
+        let mut row: Vec<f64> = row.into_iter().collect();
+        row.truncate(self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the series as a CSV document.
+    pub fn to_csv(&self) -> String {
+        let mut s = self.columns.join(",");
+        s.push('\n');
+        for row in &self.rows {
+            for (i, _) in self.columns.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                if let Some(v) = row.get(i) {
+                    s.push_str(&num(*v));
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the CSV document to `w`.
+    pub fn write<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ThermalSource;
+
+    fn at(seq: u64, time_s: f64, payload: EventPayload) -> Event {
+        Event {
+            seq,
+            time_s,
+            payload,
+        }
+    }
+
+    #[test]
+    fn pic_step_line_has_stable_field_order() {
+        let line = event_to_jsonl(&at(
+            3,
+            0.0015,
+            EventPayload::PicStep {
+                island: 1,
+                error: -0.125,
+                p_term: -0.05,
+                i_term: -0.0625,
+                d_term: -0.0125,
+                output: -0.125,
+                dvfs_index: 7,
+                saturated: true,
+            },
+        ));
+        assert_eq!(
+            line,
+            "{\"seq\": 3, \"t\": 0.001500, \"kind\": \"PicStep\", \"island\": 1, \
+             \"error\": -0.125000, \"p\": -0.050000, \"i\": -0.062500, \"d\": -0.012500, \
+             \"output\": -0.125000, \"dvfs\": 7, \"saturated\": true}"
+        );
+    }
+
+    #[test]
+    fn pair_violation_includes_partner_single_omits_it() {
+        let pair = event_to_jsonl(&at(
+            0,
+            0.01,
+            EventPayload::ThermalViolation {
+                source: ThermalSource::AdjacentPairCap,
+                island: 2,
+                partner: 3,
+                value: 18.0,
+                limit: 17.6,
+            },
+        ));
+        assert!(pair.contains("\"partner\": 3"), "{pair}");
+        let single = event_to_jsonl(&at(
+            1,
+            0.01,
+            EventPayload::ThermalViolation {
+                source: ThermalSource::SingleIslandCap,
+                island: 2,
+                partner: u32::MAX,
+                value: 11.0,
+                limit: 10.4,
+            },
+        ));
+        assert!(!single.contains("partner"), "{single}");
+        assert!(single.contains("\"source\": \"single_island_cap\""));
+    }
+
+    #[test]
+    fn jsonl_document_is_one_line_per_event() {
+        let events = vec![
+            at(
+                0,
+                0.0,
+                EventPayload::GpmAllocation {
+                    round: 0,
+                    island: 0,
+                    allocated_w: 10.0,
+                    actual_w: 0.0,
+                    budget_w: 80.0,
+                },
+            ),
+            at(
+                1,
+                0.0005,
+                EventPayload::TransducerRezero {
+                    island: 0,
+                    residual_w: 0.2,
+                    offset_w: 0.08,
+                },
+            ),
+        ];
+        let doc = events_to_jsonl(&events);
+        assert_eq!(doc.lines().count(), 2);
+        assert!(doc.ends_with('\n'));
+        for line in doc.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_zero() {
+        let line = event_to_jsonl(&at(
+            0,
+            f64::NAN,
+            EventPayload::WorkerSpan {
+                worker: 0,
+                label: "measure",
+                start_s: f64::INFINITY,
+                end_s: 1.0,
+            },
+        ));
+        assert!(line.contains("\"t\": 0.0,"), "{line}");
+        assert!(line.contains("\"start_s\": 0.0,"), "{line}");
+    }
+
+    #[test]
+    fn csv_renders_header_and_fixed_precision_rows() {
+        let mut series = CsvSeries::new(["time_s", "chip_power_w", "budget_w"]);
+        series.push_row([0.0005, 61.25, 64.0]);
+        series.push_row([0.001, 62.5, 64.0]);
+        assert_eq!(
+            series.to_csv(),
+            "time_s,chip_power_w,budget_w\n\
+             0.000500,61.250000,64.000000\n\
+             0.001000,62.500000,64.000000\n"
+        );
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn csv_pads_short_rows_and_truncates_long_ones() {
+        let mut series = CsvSeries::new(["a", "b", "c"]);
+        series.push_row([1.0]);
+        series.push_row([1.0, 2.0, 3.0, 4.0]);
+        let csv = series.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "1.000000,,");
+        assert_eq!(lines[2], "1.000000,2.000000,3.000000");
+    }
+}

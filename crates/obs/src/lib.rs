@@ -1,0 +1,33 @@
+//! `cpm-obs` — the observability substrate for the CPM stack.
+//!
+//! Three pieces, all std-only (the workspace builds with zero external
+//! crates):
+//!
+//! * **Flight recorder** ([`Recorder`], [`FlightRecorder`]) — a
+//!   fixed-capacity sharded ring buffer of typed [`Event`]s with
+//!   simulated-time timestamps. Answers *what happened, in order*, with
+//!   bounded memory; drops the oldest history on overflow.
+//! * **Metrics registry** ([`Registry`]) — named counters, gauges, and
+//!   fixed-bucket histograms with deterministic [`Snapshot`] rendering to
+//!   JSON and a one-page text report. Answers *how much, in total*.
+//! * **Exporters** ([`export`]) — JSONL event traces and CSV time-series
+//!   with stable field order and fixed decimal precision, so CI can diff
+//!   artifacts byte-for-byte across worker counts.
+//!
+//! The intended wiring: components hold a cheaply clonable [`Recorder`]
+//! handle (disabled by default — one branch per call site) and
+//! [`Registry`] instruments; the experiment driver decides per run
+//! whether anything is attached.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod registry;
+
+pub use event::{Event, EventKind, EventPayload, ThermalSource};
+pub use export::{event_to_jsonl, events_to_jsonl, write_jsonl, CsvSeries};
+pub use recorder::{FlightRecorder, Recorder};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};

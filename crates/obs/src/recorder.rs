@@ -1,0 +1,322 @@
+//! The flight recorder: a fixed-capacity, sharded ring buffer of
+//! [`Event`]s behind a zero-cost-when-disabled [`Recorder`] handle.
+//!
+//! ## Design
+//!
+//! * **Handle, not singleton.** A [`Recorder`] is a cheaply clonable
+//!   handle — either *disabled* (the default: an empty `Option`, so every
+//!   `record` is a single branch and no event is ever constructed beyond
+//!   the stack temporary) or attached to a shared [`FlightRecorder`].
+//!   Components own a handle and never know whether anyone is listening.
+//! * **Sharded ring.** Events land in `shards` mutex-protected rings
+//!   selected by sequence number, so concurrent recorders contend only
+//!   1/`shards` of the time. Each shard holds `capacity / shards` events
+//!   and drops its *oldest* entry on overflow — a flight recorder keeps
+//!   the most recent history, like its aeronautical namesake.
+//! * **Total order.** Every event takes a global sequence number from one
+//!   atomic; [`Recorder::drain`] merges the shards back into sequence
+//!   order, so wraparound and sharding never reorder the story.
+//! * **Ambient simulated clock.** The simulation driver calls
+//!   [`Recorder::set_time`] as simulated time advances; instrumented
+//!   components just `record(payload)` and inherit the current timestamp.
+//!   Wall-clock time never enters an event, which is what makes traces
+//!   byte-identical across runs and worker counts.
+
+use crate::event::{Event, EventPayload};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The shared ring-buffer store behind enabled [`Recorder`] handles.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    shard_capacity: usize,
+    seq: AtomicU64,
+    /// Simulated "now" in seconds, stored as f64 bits.
+    clock_bits: AtomicU64,
+    /// Events evicted by ring wraparound.
+    dropped: AtomicU64,
+    /// Recording gate: `false` turns `record` into a no-op without
+    /// detaching handles (used to blank out calibration phases).
+    enabled: AtomicBool,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events across
+    /// `shards` shards (both clamped to ≥ 1). Capacity rounds up to a
+    /// multiple of the shard count.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(VecDeque::with_capacity(shard_capacity)))
+                .collect(),
+            shard_capacity,
+            seq: AtomicU64::new(0),
+            clock_bits: AtomicU64::new(0f64.to_bits()),
+            dropped: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Total event capacity (shards × shard capacity).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events evicted by wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, payload: EventPayload) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            time_s: f64::from_bits(self.clock_bits.load(Ordering::Relaxed)),
+            payload,
+        };
+        let shard = (seq % self.shards.len() as u64) as usize;
+        let mut ring = self.shards[shard].lock().unwrap();
+        if ring.len() == self.shard_capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    fn drain(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut Vec::from_iter(shard.lock().unwrap().drain(..)));
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+}
+
+/// A cheaply clonable recording handle: disabled (default) or attached to
+/// a shared [`FlightRecorder`]. See the module docs for the contract.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<FlightRecorder>>,
+}
+
+impl Recorder {
+    /// The disabled handle: every operation is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Creates an enabled recorder with the given total event capacity and
+    /// a default shard count of 8.
+    pub fn enabled(capacity: usize) -> Self {
+        Self::with_shards(capacity, 8)
+    }
+
+    /// Creates an enabled recorder with an explicit shard count.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(FlightRecorder::new(capacity, shards))),
+        }
+    }
+
+    /// True when attached to a store (whether or not recording is paused).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event at the current simulated time. No-op when
+    /// disabled or paused.
+    #[inline]
+    pub fn record(&self, payload: EventPayload) {
+        if let Some(inner) = &self.inner {
+            inner.record(payload);
+        }
+    }
+
+    /// Advances the ambient simulated clock (seconds). Subsequent
+    /// `record` calls from any handle sharing the store use this time.
+    #[inline]
+    pub fn set_time(&self, time_s: f64) {
+        if let Some(inner) = &self.inner {
+            inner.clock_bits.store(time_s.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The ambient simulated time (0.0 when disabled).
+    pub fn time(&self) -> f64 {
+        self.inner.as_ref().map_or(0.0, |r| {
+            f64::from_bits(r.clock_bits.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Pauses recording without detaching handles (e.g. during the
+    /// calibration sweep, whose controller chatter is not part of the
+    /// measured story).
+    pub fn pause(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Resumes a paused recorder.
+    pub fn resume(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains all buffered events in sequence order, clearing the ring.
+    /// Empty when disabled.
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |r| r.drain())
+    }
+
+    /// Events evicted by ring wraparound so far (0 when disabled).
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.dropped())
+    }
+
+    /// Total event capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn span(label: &'static str) -> EventPayload {
+        EventPayload::WorkerSpan {
+            worker: 0,
+            label,
+            start_s: 0.0,
+            end_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(span("x"));
+        r.set_time(5.0);
+        assert_eq!(r.time(), 0.0);
+        assert!(r.drain().is_empty());
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn events_carry_the_ambient_clock() {
+        let r = Recorder::enabled(16);
+        r.set_time(0.005);
+        r.record(span("a"));
+        r.set_time(0.010);
+        r.record(span("b"));
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time_s, 0.005);
+        assert_eq!(events[1].time_s, 0.010);
+    }
+
+    #[test]
+    fn drain_merges_shards_in_sequence_order() {
+        // 3 shards: consecutive events land on different shards; drain
+        // must restore record order via the global sequence numbers.
+        let r = Recorder::with_shards(30, 3);
+        for i in 0..20 {
+            r.set_time(i as f64);
+            r.record(span("s"));
+        }
+        let events = r.drain();
+        assert_eq!(events.len(), 20);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "sequence order broken at {i}");
+            assert_eq!(e.time_s, i as f64);
+        }
+        // Drain clears the buffer.
+        assert!(r.drain().is_empty());
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        // Capacity 4 over 2 shards = 2 events per shard; 10 records keep
+        // the 4 newest and drop 6.
+        let r = Recorder::with_shards(4, 2);
+        for _ in 0..10 {
+            r.record(span("w"));
+        }
+        let events = r.drain();
+        assert_eq!(events.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // The survivors are the most recent sequence numbers, in order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_shard_multiple() {
+        let r = Recorder::with_shards(10, 4);
+        assert_eq!(r.capacity(), 12); // ceil(10/4)=3 per shard × 4
+    }
+
+    #[test]
+    fn pause_and_resume_gate_recording() {
+        let r = Recorder::enabled(8);
+        r.record(span("kept"));
+        r.pause();
+        r.record(span("lost"));
+        r.resume();
+        r.record(span("kept"));
+        let events = r.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.kind() == EventKind::WorkerSpan));
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let a = Recorder::enabled(8);
+        let b = a.clone();
+        a.set_time(1.5);
+        b.record(span("via-b"));
+        let events = a.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time_s, 1.5);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless_under_capacity() {
+        let r = Recorder::with_shards(4096, 8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.record(span("t"));
+                    }
+                });
+            }
+        });
+        let events = r.drain();
+        assert_eq!(events.len(), 4000);
+        assert_eq!(r.dropped(), 0);
+        // Sequence numbers are a permutation of 0..4000, sorted.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+}

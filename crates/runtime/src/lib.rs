@@ -103,6 +103,48 @@ impl PoolStats {
     pub fn total_jobs(&self) -> u64 {
         self.per_context.iter().map(|c| c.jobs).sum()
     }
+
+    /// Total steals across all contexts.
+    pub fn total_steals(&self) -> u64 {
+        self.per_context.iter().map(|c| c.steals).sum()
+    }
+
+    /// Publishes this snapshot onto a `cpm-obs` metrics registry,
+    /// replacing the ad-hoc jobs/steals/busy plumbing callers used to
+    /// hand-roll. Snapshot values land on **gauges** (set, not add), so
+    /// re-exporting after more work simply refreshes them. The last
+    /// per-context slot is the synthetic caller context.
+    pub fn export(&self, registry: &cpm_obs::Registry) {
+        registry.gauge("pool.workers").set(self.workers as f64);
+        registry
+            .gauge("pool.elapsed_seconds")
+            .set(self.elapsed.as_secs_f64());
+        registry
+            .gauge("pool.jobs_total")
+            .set(self.total_jobs() as f64);
+        registry
+            .gauge("pool.steals_total")
+            .set(self.total_steals() as f64);
+        for (k, c) in self.per_context.iter().enumerate() {
+            let name = if k == self.per_context.len() - 1 {
+                "caller".to_string()
+            } else {
+                format!("worker{k}")
+            };
+            registry
+                .gauge(&format!("pool.{name}.jobs"))
+                .set(c.jobs as f64);
+            registry
+                .gauge(&format!("pool.{name}.steals"))
+                .set(c.steals as f64);
+            registry
+                .gauge(&format!("pool.{name}.busy_seconds"))
+                .set(c.busy.as_secs_f64());
+            registry
+                .gauge(&format!("pool.{name}.utilization"))
+                .set(self.utilization(k));
+        }
+    }
 }
 
 struct PoolInner {
@@ -346,6 +388,12 @@ impl Pool {
         })
     }
 
+    /// Publishes the current utilization snapshot onto a metrics
+    /// registry; see [`PoolStats::export`].
+    pub fn export_metrics(&self, registry: &cpm_obs::Registry) {
+        self.stats().export(registry);
+    }
+
     /// Utilization snapshot since the pool started.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -573,6 +621,25 @@ mod tests {
             );
         }
         assert_eq!(stats.total_jobs(), 6 + 36);
+    }
+
+    #[test]
+    fn export_metrics_publishes_pool_gauges() {
+        let pool = Pool::new(2);
+        pool.parallel_map((0..40u32).collect(), |x| x + 1);
+        let registry = cpm_obs::Registry::new();
+        pool.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["pool.jobs_total"], 40.0);
+        assert_eq!(snap.gauges["pool.workers"], 2.0);
+        // 2 workers + caller slot, 4 gauges each, plus 4 pool-wide ones.
+        assert_eq!(snap.gauges.len(), 4 + 3 * 4);
+        assert!(snap.gauges.contains_key("pool.caller.busy_seconds"));
+        assert!(snap.gauges.contains_key("pool.worker1.utilization"));
+        // Re-export refreshes rather than double-counts.
+        pool.parallel_map((0..10u32).collect(), |x| x);
+        pool.export_metrics(&registry);
+        assert_eq!(registry.snapshot().gauges["pool.jobs_total"], 50.0);
     }
 
     #[test]

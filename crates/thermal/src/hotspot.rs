@@ -6,6 +6,7 @@
 //! so policies can be compared by "percentage duration of violations"
 //! (Fig. 18(c)).
 
+use cpm_obs::{EventPayload, Recorder, ThermalSource};
 use cpm_units::{Celsius, CoreId, Seconds};
 
 /// Accumulates thermal-violation statistics over a run.
@@ -16,6 +17,7 @@ pub struct HotspotTracker {
     total_time: Seconds,
     events: usize,
     in_violation: Vec<bool>,
+    recorder: Recorder,
 }
 
 impl HotspotTracker {
@@ -28,7 +30,15 @@ impl HotspotTracker {
             total_time: Seconds::ZERO,
             events: 0,
             in_violation: vec![false; cores],
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle; each hotspot *onset* (rising
+    /// edge of a core crossing the threshold) then emits a
+    /// [`EventPayload::ThermalViolation`] with the die-threshold source.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The configured threshold.
@@ -47,6 +57,13 @@ impl HotspotTracker {
                 self.violation_time[i] += dt;
                 if !self.in_violation[i] {
                     self.events += 1; // rising edge = new hotspot event
+                    self.recorder.record(EventPayload::ThermalViolation {
+                        source: ThermalSource::DieThreshold,
+                        island: i as u32,
+                        partner: u32::MAX,
+                        value: t.value(),
+                        limit: self.threshold.value(),
+                    });
                 }
             }
             self.in_violation[i] = hot;

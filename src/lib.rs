@@ -32,9 +32,11 @@
 //! | [`workloads`] | `cpm-workloads` | PARSEC/SPEC profiles, phases, mixes |
 //! | [`sim`] | `cpm-sim` | interval-accurate CMP simulator |
 //! | [`core`] | `cpm-core` | GPM policies, PIC, MaxBIPS, coordinator |
+//! | [`obs`] | `cpm-obs` | flight recorder, metrics registry, exporters |
 
 pub use cpm_control as control;
 pub use cpm_core as core;
+pub use cpm_obs as obs;
 pub use cpm_power as power;
 pub use cpm_sim as sim;
 pub use cpm_thermal as thermal;

@@ -24,9 +24,9 @@ fn main() {
     for islands in [2usize, 4, 8, 16, 32] {
         let obs = observations(islands);
         let budget = Watts::new(16.0 * islands as f64);
-        let mb = MaxBips::new(DvfsTable::pentium_m());
+        let mut mb = MaxBips::new(DvfsTable::pentium_m());
         b.bench(&format!("maxbips_dp/{islands}"), move || {
-            black_box(mb.choose(budget, black_box(&obs)))
+            black_box(mb.choose_uncached(budget, black_box(&obs)))
         });
     }
 
@@ -42,10 +42,10 @@ fn main() {
     let obs = observations(8);
     let budget = Watts::new(130.0);
     for bin in [0.05f64, 0.1, 0.5, 1.0] {
-        let mb = MaxBips::new(DvfsTable::pentium_m()).with_bin_watts(bin);
+        let mut mb = MaxBips::new(DvfsTable::pentium_m()).with_bin_watts(bin);
         let obs = obs.clone();
         b.bench(&format!("maxbips_dp_bin_width/{bin}"), move || {
-            black_box(mb.choose(budget, black_box(&obs)))
+            black_box(mb.choose_uncached(budget, black_box(&obs)))
         });
     }
 

@@ -19,8 +19,9 @@ fn main() {
         let cfg = CmpConfig::with_topology(cores, width);
         let assignment = WorkloadAssignment::paper_mix(mix, cores);
         let mut chip = Chip::new(cfg, &assignment);
+        let mut snap = cpm_sim::ChipSnapshot::empty();
         b.bench(&format!("chip_step/{cores}"), move || {
-            black_box(chip.step_pic())
+            chip.step_pic_into(black_box(&mut snap))
         });
     }
 

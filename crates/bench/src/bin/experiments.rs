@@ -4,6 +4,7 @@
 //! experiments <id> [<id> …]   run the named experiments (table1 … fig19)
 //! experiments all             run everything in paper order, in parallel
 //! experiments trace <cell>    replay one cell with the flight recorder on
+//! experiments perf [--quick]  time the hot paths, write BENCH_perf.json
 //! experiments list            list experiment ids
 //! ```
 //!
@@ -25,7 +26,14 @@
 //! Timestamps are simulated time, so the artifacts are byte-identical
 //! across runs and worker counts. Flags: `--rounds N` (default 30) and
 //! `--hotspot-c T` (die-temperature watchdog threshold, default 80).
+//!
+//! `perf` runs the regression-gated performance suite: ns/op for each hot
+//! path (chip step, PID step, MaxBIPS choose, thermal step, cache access,
+//! calibration) plus one single-worker `all` sweep, written to
+//! `BENCH_perf.json` (override with `CPM_PERF_JSON`). `--quick` cuts the
+//! time budget ~10× for the CI smoke lane.
 
+use cpm_bench::perf::{perf_json, run_perf};
 use cpm_bench::trace::{run_trace, TraceOptions};
 use cpm_bench::{run_all, run_experiment, sweep_json, ALL_EXPERIMENTS};
 use cpm_units::Celsius;
@@ -143,6 +151,28 @@ fn trace_cmd(args: &[String]) {
     print!("{}", artifacts.metrics_text);
 }
 
+fn perf_cmd(args: &[String]) {
+    let mut quick = false;
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown perf flag `{other}` (expected --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_perf(quick);
+    let path = std::env::var("CPM_PERF_JSON").unwrap_or_else(|_| "BENCH_perf.json".to_string());
+    match std::fs::write(&path, perf_json(&report)) {
+        Ok(()) => eprintln!("[perf] written to {path}"),
+        Err(e) => {
+            eprintln!("[perf] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -153,9 +183,11 @@ fn main() {
             }
             println!("  all");
             println!("  trace <policy>@<budget>");
+            println!("  perf [--quick]");
         }
         Some("all") => run_all_cmd(),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("perf") => perf_cmd(&args[1..]),
         Some(_) => {
             for id in &args {
                 run_one(id);

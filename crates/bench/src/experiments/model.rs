@@ -66,9 +66,10 @@ pub fn fig6() -> String {
         let assignment = WorkloadAssignment::new(vec![p.clone(); 8], 2);
         let mut chip = Chip::new(cmp.clone(), &assignment);
         let mut tr = cpm_power::UtilizationPowerTransducer::new();
+        let mut snap = cpm_sim::ChipSnapshot::empty();
         // Warm, then sweep all levels three times observing island 0.
         for _ in 0..200 {
-            chip.step_pic();
+            chip.step_pic_into(&mut snap);
         }
         for round in 0..3 {
             for step in 0..cmp.dvfs.len() {
@@ -80,9 +81,9 @@ pub fn fig6() -> String {
                 for i in 0..cmp.islands() {
                     chip.set_island_dvfs(IslandId(i), level);
                 }
-                chip.step_pic();
+                chip.step_pic_into(&mut snap);
                 for _ in 0..2 {
-                    let snap = chip.step_pic();
+                    chip.step_pic_into(&mut snap);
                     let isl = &snap.islands[0];
                     tr.observe(isl.capacity_utilization, isl.power);
                 }

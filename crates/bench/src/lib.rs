@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 pub mod trace;
 
@@ -130,6 +131,26 @@ pub fn run_all_on(pool: &cpm_runtime::Pool) -> SweepOutcome {
         .add(timings.len() as u64);
     let stats = pool.stats();
     stats.export(&registry);
+
+    // Memoization effectiveness across the whole sweep: the process-wide
+    // probe / calibration-sweep / cache-simulator caches count hits and
+    // misses; publishing them here makes the artifact show the caches
+    // actually carrying load. Absolute values depend on worker count and
+    // process history — the artifact is schema-checked, not byte-diffed.
+    for (name, (hits, misses)) in [
+        (
+            "memo.probe",
+            cpm_core::coordinator::Coordinator::probe_cache_stats(),
+        ),
+        (
+            "memo.calib_sweep",
+            cpm_core::coordinator::Coordinator::calib_sweep_cache_stats(),
+        ),
+        ("memo.calibration", cpm_sim::calibration::cache_stats()),
+    ] {
+        registry.counter(&format!("{name}.hits")).add(hits);
+        registry.counter(&format!("{name}.misses")).add(misses);
+    }
 
     SweepOutcome {
         reports,

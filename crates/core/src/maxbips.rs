@@ -39,6 +39,22 @@ pub struct MaxBipsObservation {
     pub dvfs_index: usize,
 }
 
+/// Reusable DP working storage, kept across GPM rounds so [`MaxBips::choose`]
+/// allocates nothing but its (island-sized) result once warm.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Flat island-major prediction table: `preds[i * levels + l]` is
+    /// island `i`'s `(power, bips)` prediction at level `l`, built once per
+    /// round.
+    preds: Vec<(Watts, f64)>,
+    /// `dp[b]` = best total BIPS using ≤ b bins, islands processed so far.
+    dp: Vec<f64>,
+    /// The island currently being folded in (double buffer for `dp`).
+    next: Vec<f64>,
+    /// Flat island-major pick table: `choice[i * (bins + 1) + b]`.
+    choice: Vec<i32>,
+}
+
 /// The open-loop MaxBIPS manager.
 #[derive(Debug, Clone)]
 pub struct MaxBips {
@@ -51,6 +67,20 @@ pub struct MaxBips {
     /// 5 % matches our workloads' phase variability. Set 0 for the raw
     /// textbook algorithm.
     safety_margin: f64,
+    scratch: Scratch,
+    /// Memoized `(budget, observations) → result` of the last `choose`
+    /// call. The open-loop MaxBIPS manager re-evaluates an identical
+    /// static characterization table every GPM round, so after the first
+    /// round the search is a repeat; inputs are compared bit-exactly
+    /// (`f64 ==`), so a replay returns exactly what recomputation would.
+    last: Option<ChooseMemo>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ChooseMemo {
+    budget: Watts,
+    observations: Vec<MaxBipsObservation>,
+    result: Vec<usize>,
 }
 
 impl MaxBips {
@@ -61,6 +91,8 @@ impl MaxBips {
             table,
             bin_watts: 0.1,
             safety_margin: 0.05,
+            scratch: Scratch::default(),
+            last: None,
         }
     }
 
@@ -79,23 +111,26 @@ impl MaxBips {
         self
     }
 
-    /// Builds the per-level prediction for one island: `(power, bips)` per
-    /// DVFS index.
-    pub fn predict(&self, obs: MaxBipsObservation) -> Vec<(Watts, f64)> {
+    /// The `(power, bips)` prediction for one island at one DVFS level —
+    /// the allocation-free scalar form of [`MaxBips::predict`].
+    pub fn predict_level(&self, obs: MaxBipsObservation, level: usize) -> (Watts, f64) {
         let cur = self.table.point(obs.dvfs_index);
         let cur_v2f = cur.v2f();
         let cur_f = cur.frequency.value();
         let cur_v = cur.voltage.value();
         let stat = obs.static_power.min(obs.power);
         let dyn_p = obs.power - stat;
-        self.table
-            .points()
-            .iter()
-            .map(|p| {
-                let power = stat * (p.voltage.value() / cur_v) + dyn_p * (p.v2f() / cur_v2f);
-                let bips = obs.bips * (p.frequency.value() / cur_f);
-                (power, bips)
-            })
+        let p = self.table.point(level);
+        let power = stat * (p.voltage.value() / cur_v) + dyn_p * (p.v2f() / cur_v2f);
+        let bips = obs.bips * (p.frequency.value() / cur_f);
+        (power, bips)
+    }
+
+    /// Builds the per-level prediction for one island: `(power, bips)` per
+    /// DVFS index.
+    pub fn predict(&self, obs: MaxBipsObservation) -> Vec<(Watts, f64)> {
+        (0..self.table.len())
+            .map(|l| self.predict_level(obs, l))
             .collect()
     }
 
@@ -103,29 +138,83 @@ impl MaxBips {
     /// Σ predicted power ≤ `budget` (knapsack DP over quantized power).
     /// When even the all-lowest combination exceeds the budget, returns
     /// all-lowest (the least-bad feasible action).
-    pub fn choose(&self, budget: Watts, observations: &[MaxBipsObservation]) -> Vec<usize> {
+    ///
+    /// The prediction table and DP tables live in a scratch buffer reused
+    /// across rounds (hence `&mut self`); once warm, the only allocation is
+    /// the island-sized result vector.
+    pub fn choose(&mut self, budget: Watts, observations: &[MaxBipsObservation]) -> Vec<usize> {
         assert!(!observations.is_empty());
-        let budget = budget * (1.0 - self.safety_margin);
-        let preds: Vec<Vec<(Watts, f64)>> = observations.iter().map(|&o| self.predict(o)).collect();
-        let bins = (budget.value() / self.bin_watts).floor() as usize;
-        if bins == 0 {
-            return vec![0; observations.len()];
+        if let Some(m) = &self.last {
+            if m.budget == budget && m.observations == observations {
+                return m.result.clone();
+            }
         }
-        // dp[b] = best total BIPS using ≤ b bins; choice[i][b] = level picked.
+        let result = self.choose_uncached(budget, observations);
+        self.last = Some(ChooseMemo {
+            budget,
+            observations: observations.to_vec(),
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// The memo-free search behind [`Self::choose`] — public so benches
+    /// measure the DP itself, not a memo replay.
+    pub fn choose_uncached(
+        &mut self,
+        budget: Watts,
+        observations: &[MaxBipsObservation],
+    ) -> Vec<usize> {
+        let budget = budget * (1.0 - self.safety_margin);
+        let n = observations.len();
+        let levels = self.table.len();
+        let bin_watts = self.bin_watts;
+        // Build the prediction table once per round, flat and island-major.
+        // (Same arithmetic as `predict_level`, with the per-island current-
+        // point terms hoisted out of the level loop.)
+        let scratch = &mut self.scratch;
+        scratch.preds.clear();
+        scratch.preds.reserve(n * levels);
+        for &o in observations {
+            let cur = self.table.point(o.dvfs_index);
+            let cur_v2f = cur.v2f();
+            let cur_f = cur.frequency.value();
+            let cur_v = cur.voltage.value();
+            let stat = o.static_power.min(o.power);
+            let dyn_p = o.power - stat;
+            for p in self.table.points() {
+                let power = stat * (p.voltage.value() / cur_v) + dyn_p * (p.v2f() / cur_v2f);
+                let bips = o.bips * (p.frequency.value() / cur_f);
+                scratch.preds.push((power, bips));
+            }
+        }
+        let bins = (budget.value() / bin_watts).floor() as usize;
+        if bins == 0 {
+            return vec![0; n];
+        }
+        // dp[b] = best total BIPS using ≤ b bins; choice[i·(bins+1)+b] =
+        // level picked.
         const NEG: f64 = f64::NEG_INFINITY;
-        let mut dp = vec![0.0f64; bins + 1];
-        let mut choice: Vec<Vec<i32>> = Vec::with_capacity(preds.len());
-        for pred in &preds {
-            let mut next = vec![NEG; bins + 1];
-            let mut pick = vec![-1i32; bins + 1];
+        scratch.dp.clear();
+        scratch.dp.resize(bins + 1, 0.0);
+        scratch.choice.clear();
+        scratch.choice.resize(n * (bins + 1), -1);
+        for i in 0..n {
+            let pred = &scratch.preds[i * levels..(i + 1) * levels];
+            scratch.next.clear();
+            scratch.next.resize(bins + 1, NEG);
+            let pick = &mut scratch.choice[i * (bins + 1)..(i + 1) * (bins + 1)];
             for (lvl, &(p, bips)) in pred.iter().enumerate() {
                 // Round power *up* so the real total cannot exceed budget.
-                let cost = (p.value() / self.bin_watts).ceil() as usize;
+                let cost = (p.value() / bin_watts).ceil() as usize;
+                // `b` indexes three tables at two offsets (dp[b-cost],
+                // next[b], pick[b]); an iterator chain would obscure that.
+                #[allow(clippy::needless_range_loop)]
                 for b in cost..=bins {
-                    if dp[b - cost] > NEG {
-                        let cand = dp[b - cost] + bips;
-                        if cand > next[b] {
-                            next[b] = cand;
+                    if scratch.dp[b - cost] > NEG {
+                        let cand = scratch.dp[b - cost] + bips;
+                        if cand > scratch.next[b] {
+                            scratch.next[b] = cand;
                             pick[b] = lvl as i32;
                         }
                     }
@@ -134,30 +223,29 @@ impl MaxBips {
             // Make dp monotone in b (≤ b semantics) while keeping pick
             // consistent: propagate the best smaller-budget solution up.
             for b in 1..=bins {
-                if next[b - 1] > next[b] {
-                    next[b] = next[b - 1];
+                if scratch.next[b - 1] > scratch.next[b] {
+                    scratch.next[b] = scratch.next[b - 1];
                     pick[b] = pick[b - 1];
                 }
             }
-            dp = next;
-            choice.push(pick);
+            std::mem::swap(&mut scratch.dp, &mut scratch.next);
         }
-        if dp[bins] == NEG {
+        if scratch.dp[bins] == NEG {
             // No feasible combination: clamp everything to the floor.
-            return vec![0; observations.len()];
+            return vec![0; n];
         }
         // Backtrack. `pick[b]` was stored against the monotone-adjusted
         // table, so rewind per island by subtracting the picked cost.
-        let mut out = vec![0usize; preds.len()];
+        let mut out = vec![0usize; n];
         let mut b = bins;
-        for i in (0..preds.len()).rev() {
+        for i in (0..n).rev() {
             // Find the effective bin (monotone propagation may have come
             // from below).
-            let lvl = choice[i][b];
+            let lvl = scratch.choice[i * (bins + 1) + b];
             debug_assert!(lvl >= 0);
             let lvl = lvl.max(0) as usize;
             out[i] = lvl;
-            let cost = (preds[i][lvl].0.value() / self.bin_watts).ceil() as usize;
+            let cost = (scratch.preds[i * levels + lvl].0.value() / bin_watts).ceil() as usize;
             b = b.saturating_sub(cost);
         }
         out
@@ -211,7 +299,7 @@ impl MaxBips {
         observations
             .iter()
             .zip(combo)
-            .map(|(&o, &l)| self.predict(o)[l].0)
+            .map(|(&o, &l)| self.predict_level(o, l).0)
             .sum()
     }
 
@@ -220,7 +308,7 @@ impl MaxBips {
         observations
             .iter()
             .zip(combo)
-            .map(|(&o, &l)| self.predict(o)[l].1)
+            .map(|(&o, &l)| self.predict_level(o, l).1)
             .sum()
     }
 }
@@ -262,7 +350,7 @@ mod tests {
 
     #[test]
     fn generous_budget_selects_top_everywhere() {
-        let m = mgr();
+        let mut m = mgr();
         let o = vec![obs(20.0, 2.0, 7); 4];
         let combo = m.choose(Watts::new(1000.0), &o);
         assert_eq!(combo, vec![7; 4]);
@@ -270,7 +358,7 @@ mod tests {
 
     #[test]
     fn tight_budget_never_exceeded() {
-        let m = mgr();
+        let mut m = mgr();
         let o = vec![obs(20.0, 2.0, 7); 4];
         for budget in [30.0, 45.0, 60.0, 75.0] {
             let combo = m.choose(Watts::new(budget), &o);
@@ -284,7 +372,7 @@ mod tests {
 
     #[test]
     fn dp_matches_exhaustive_on_small_cases() {
-        let m = mgr().with_bin_watts(0.01);
+        let mut m = mgr().with_bin_watts(0.01);
         let o = vec![
             obs(22.0, 2.4, 7),
             obs(18.0, 1.1, 7),
@@ -306,7 +394,7 @@ mod tests {
 
     #[test]
     fn impossible_budget_clamps_to_floor() {
-        let m = mgr();
+        let mut m = mgr();
         let o = vec![obs(20.0, 2.0, 7); 4];
         // All-lowest costs 4 · 20·(v2f0/v2f7) ≈ 4 · 3.26 = 13 W; ask for 1 W.
         let combo = m.choose(Watts::new(1.0), &o);
@@ -315,7 +403,7 @@ mod tests {
 
     #[test]
     fn high_bips_islands_win_the_budget() {
-        let m = mgr();
+        let mut m = mgr();
         // Island 0 converts power into twice the throughput of island 1.
         let o = vec![obs(20.0, 4.0, 7), obs(20.0, 2.0, 7)];
         let combo = m.choose(Watts::new(30.0), &o);
@@ -329,7 +417,7 @@ mod tests {
     fn undershoot_is_systematic() {
         // Fig. 11's observation: with discrete knobs the chosen combination
         // predicts strictly below budget for most budgets.
-        let m = mgr();
+        let mut m = mgr();
         let o = vec![obs(20.0, 2.0, 7); 4];
         let mut undershoots = 0;
         for pct in [50.0, 60.0, 70.0, 80.0, 90.0] {
@@ -345,7 +433,7 @@ mod tests {
 
     #[test]
     fn scales_to_32_islands() {
-        let m = mgr().with_bin_watts(0.25);
+        let mut m = mgr().with_bin_watts(0.25);
         let o: Vec<_> = (0..32)
             .map(|i| obs(18.0 + (i % 5) as f64, 1.0 + (i % 3) as f64, 7))
             .collect();

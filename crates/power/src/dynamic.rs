@@ -122,8 +122,28 @@ impl DynamicPowerModel {
     /// functional unit (the common case in the interval simulator, where
     /// activity tracks IPC).
     pub fn power(&self, op: OperatingPoint, activity: Ratio) -> Watts {
-        let acts = [activity; 8];
-        self.power_per_unit(op, &acts).into_iter().sum()
+        self.power_with_v2f(op.v2f(), activity)
+    }
+
+    /// Single-activity dynamic power with the island-constant `V²·f`
+    /// product hoisted out by the caller. The gated activity is the same
+    /// for every unit except the clock tree, so both factors are computed
+    /// once; the per-unit products and their summation order match
+    /// [`Self::power_per_unit`] exactly, keeping the result bit-identical
+    /// to [`Self::power`].
+    pub fn power_with_v2f(&self, v2f: f64, activity: Ratio) -> Watts {
+        let g = Self::gate(activity.value());
+        let g_clock = Self::gate(1.0);
+        let mut total = 0.0;
+        for (i, c) in self.capacitance.iter().enumerate() {
+            let g_u = if Unit::ALL[i] == Unit::ClockTree {
+                g_clock
+            } else {
+                g
+            };
+            total += c * g_u * v2f;
+        }
+        Watts::new(total)
     }
 
     /// Peak dynamic power at `op` (all activities = 1).

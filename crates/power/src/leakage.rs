@@ -70,9 +70,23 @@ impl LeakageModel {
     /// process-variation multiplier `multiplier` (1.0 = nominal silicon;
     /// the paper's §IV-B islands use 1.2×, 1.5×, 2.0×).
     pub fn power(&self, v: Volts, t: Celsius, multiplier: f64) -> Watts {
-        assert!(multiplier > 0.0, "variation multiplier must be positive");
+        self.power_with_v_term(self.v_term(v), t, multiplier)
+    }
+
+    /// The voltage factor `(V/V₀)·exp(β_V·(V − V₀))` of the leakage model.
+    /// It depends only on the supply voltage, which is island-constant
+    /// within a PIC interval, so the chip stepper hoists it out of the
+    /// per-core loop; `power_with_v_term(v_term(v), …)` is bit-identical
+    /// to `power(v, …)`.
+    #[inline]
+    pub fn v_term(&self, v: Volts) -> f64 {
         let vr = v.value() / self.v_nominal.value();
-        let v_term = vr * ((v.value() - self.v_nominal.value()) * self.beta_v).exp();
+        vr * ((v.value() - self.v_nominal.value()) * self.beta_v).exp()
+    }
+
+    /// Leakage power with the voltage factor precomputed by [`Self::v_term`].
+    pub fn power_with_v_term(&self, v_term: f64, t: Celsius, multiplier: f64) -> Watts {
+        assert!(multiplier > 0.0, "variation multiplier must be positive");
         // Temperature in Kelvin for the quadratic prefactor.
         let tk = t.value() + 273.15;
         let tk0 = self.t_nominal.value() + 273.15;

@@ -31,6 +31,21 @@ pub use variation::VariationMap;
 
 use cpm_units::{Celsius, Ratio, Watts};
 
+/// The island-constant factors of the per-core power model, hoisted once
+/// per island per step by the chip stepper: every core in an island shares
+/// one operating point, so the dynamic `V²·f` product and the leakage
+/// voltage factor are the same for all of them. Both are computed by the
+/// exact expressions the unhoisted paths use, so stepping through
+/// [`CorePowerModel::total_power_with_terms`] is bit-identical to calling
+/// [`CorePowerModel::total_power`] per core.
+#[derive(Debug, Clone, Copy)]
+pub struct IslandPowerTerms {
+    /// `op.v2f()` — the dynamic-power voltage/frequency product.
+    pub v2f: f64,
+    /// [`LeakageModel::v_term`] at the island's supply voltage.
+    pub leak_v_term: f64,
+}
+
 /// Complete per-core power model: dynamic + leakage.
 #[derive(Debug, Clone)]
 pub struct CorePowerModel {
@@ -61,7 +76,32 @@ impl CorePowerModel {
         temp: Celsius,
         leak_mult: f64,
     ) -> Watts {
-        self.dynamic.power(op, activity) + self.leakage.power(op.voltage, temp, leak_mult)
+        self.total_power_with_terms(self.island_terms(op), activity, temp, leak_mult)
+    }
+
+    /// Precomputes the island-constant factors for `op` (see
+    /// [`IslandPowerTerms`]).
+    #[inline]
+    pub fn island_terms(&self, op: OperatingPoint) -> IslandPowerTerms {
+        IslandPowerTerms {
+            v2f: op.v2f(),
+            leak_v_term: self.leakage.v_term(op.voltage),
+        }
+    }
+
+    /// [`Self::total_power`] with the island-constant factors hoisted out;
+    /// bit-identical given `terms = island_terms(op)`.
+    pub fn total_power_with_terms(
+        &self,
+        terms: IslandPowerTerms,
+        activity: Ratio,
+        temp: Celsius,
+        leak_mult: f64,
+    ) -> Watts {
+        self.dynamic.power_with_v2f(terms.v2f, activity)
+            + self
+                .leakage
+                .power_with_v_term(terms.leak_v_term, temp, leak_mult)
     }
 
     /// The maximum power this core can draw: top operating point, full

@@ -59,6 +59,23 @@ pub struct ChipSnapshot {
 }
 
 impl ChipSnapshot {
+    /// An empty snapshot suitable as a reusable output buffer for
+    /// [`Chip::step_into`]. The vectors start unallocated and grow to the
+    /// chip's size on first use, after which they are reused in place.
+    pub fn empty() -> Self {
+        Self {
+            time: Seconds::ZERO,
+            dt: Seconds::ZERO,
+            islands: Vec::new(),
+            core_powers: Vec::new(),
+            temperatures: Vec::new(),
+            chip_power: Watts::ZERO,
+            instructions: 0.0,
+            memory_demand: 0.0,
+            memory_contention: 1.0,
+        }
+    }
+
     /// Chip throughput in BIPS this interval.
     pub fn chip_bips(&self) -> f64 {
         self.instructions / self.dt.value() / 1.0e9
@@ -196,6 +213,11 @@ impl Chip {
         self.thermal.temperatures()
     }
 
+    /// Per-core die temperatures in °C, borrowed (allocation-free).
+    pub fn temperatures_deg(&self) -> &[f64] {
+        self.thermal.temperatures_deg()
+    }
+
     /// The memory-contention factor currently in effect (≥ 1).
     pub fn memory_contention(&self) -> f64 {
         self.mem_contention
@@ -206,11 +228,31 @@ impl Chip {
         self.step(self.config.pic_interval)
     }
 
+    /// Advances the chip by one PIC interval, writing the observations into
+    /// a caller-owned snapshot buffer (see [`Chip::step_into`]).
+    pub fn step_pic_into(&mut self, out: &mut ChipSnapshot) {
+        self.step_into(self.config.pic_interval, out);
+    }
+
     /// Advances the chip by an arbitrary interval `dt`.
     pub fn step(&mut self, dt: Seconds) -> ChipSnapshot {
+        let mut out = ChipSnapshot::empty();
+        self.step_into(dt, &mut out);
+        out
+    }
+
+    /// Advances the chip by `dt`, writing the observations into `out`.
+    ///
+    /// The snapshot's vectors are cleared and refilled in place, so a buffer
+    /// obtained from [`ChipSnapshot::empty`] and reused across steps makes
+    /// steady-state stepping allocation-free after the first call. Results
+    /// are bit-identical to [`Chip::step`].
+    pub fn step_into(&mut self, dt: Seconds, out: &mut ChipSnapshot) {
         let n_cores = self.config.cores;
-        let mut core_powers = vec![Watts::ZERO; n_cores];
-        let mut island_snaps = Vec::with_capacity(self.islands.len());
+        out.core_powers.clear();
+        out.core_powers.resize(n_cores, Watts::ZERO);
+        out.islands.clear();
+        out.islands.reserve(self.islands.len());
         let mut total_instructions = 0.0;
         let mut total_dram_bytes = 0.0;
         let contention = self.mem_contention;
@@ -219,6 +261,10 @@ impl Chip {
             let op = self.config.dvfs.point(island.dvfs_index());
             let frozen = island.take_freeze(&self.config.dvfs, dt);
             let leak_mult = self.variation.multiplier(island.id());
+            // V²f and the leakage voltage factor are functions of the
+            // operating point alone — compute them once per island, not
+            // once per core (bit-identical, see `IslandPowerTerms`).
+            let terms = self.config.power.island_terms(op);
             let mut power = Watts::ZERO;
             let mut util_sum = 0.0;
             let mut instructions = 0.0;
@@ -231,11 +277,13 @@ impl Chip {
                     contention,
                 );
                 total_dram_bytes += stats.dram_bytes;
-                let p = self
-                    .config
-                    .power
-                    .total_power(op, stats.activity, temp, leak_mult);
-                core_powers[core_id.index()] = p;
+                let p = self.config.power.total_power_with_terms(
+                    terms,
+                    stats.activity,
+                    temp,
+                    leak_mult,
+                );
+                out.core_powers[core_id.index()] = p;
                 power += p;
                 util_sum += stats.utilization.value();
                 instructions += stats.instructions;
@@ -244,7 +292,7 @@ impl Chip {
             total_instructions += instructions;
             let utilization = Ratio::new(util_sum / n);
             let f_ratio = op.frequency / self.config.dvfs.max_point().frequency;
-            island_snaps.push(IslandSnapshot {
+            out.islands.push(IslandSnapshot {
                 island: island.id(),
                 power,
                 utilization,
@@ -255,7 +303,7 @@ impl Chip {
             });
         }
 
-        self.thermal.step(&core_powers, dt);
+        self.thermal.step(&out.core_powers, dt);
         self.time += dt;
 
         // Next interval's contention from this interval's traffic, lightly
@@ -266,18 +314,19 @@ impl Chip {
             self.mem_contention = 0.5 * self.mem_contention + 0.5 * raw;
         }
 
-        let chip_power = island_snaps.iter().map(|s| s.power).sum();
-        ChipSnapshot {
-            time: self.time,
-            dt,
-            islands: island_snaps,
-            core_powers,
-            temperatures: self.thermal.temperatures(),
-            chip_power,
-            instructions: total_instructions,
-            memory_demand,
-            memory_contention: contention,
-        }
+        out.temperatures.clear();
+        out.temperatures.extend(
+            self.thermal
+                .temperatures_deg()
+                .iter()
+                .map(|&t| Celsius::new(t)),
+        );
+        out.time = self.time;
+        out.dt = dt;
+        out.chip_power = out.islands.iter().map(|s| s.power).sum();
+        out.instructions = total_instructions;
+        out.memory_demand = memory_demand;
+        out.memory_contention = contention;
     }
 }
 

@@ -1,0 +1,79 @@
+//! Steady-state `Chip::step_pic_into` must not touch the heap.
+//!
+//! The PR 3 hot-path pass moved chip stepping onto reusable snapshot
+//! buffers (`ChipSnapshot` grows to high-water marks on the first step and
+//! is only reused afterwards); this test pins that property with a
+//! counting global allocator so an accidental per-step allocation shows up
+//! as a test failure, not a silent sweep slowdown.
+//!
+//! The counter is **thread-local**: `cargo test` runs tests on several
+//! threads sharing one global allocator, so a process-global counter would
+//! pick up other tests' allocations. Only allocations made by *this*
+//! test's thread between `reset` and `read` are counted.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the thread-local bump is
+// allocation-free (Cell<u64> is plain memory).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn steady_state_chip_step_is_allocation_free() {
+    use cpm_sim::{Chip, ChipSnapshot, CmpConfig};
+    use cpm_workloads::{Mix, WorkloadAssignment};
+
+    for (cores, width, mix) in [(8usize, 2usize, Mix::Mix1), (32, 4, Mix::Mix3)] {
+        let cfg = CmpConfig::with_topology(cores, width);
+        let assignment = WorkloadAssignment::paper_mix(mix, cores);
+        let mut chip = Chip::new(cfg, &assignment);
+        let mut snap = ChipSnapshot::empty();
+
+        // Warm up: first steps grow the snapshot buffers (and any lazy
+        // one-time state) to their high-water marks.
+        for _ in 0..16 {
+            chip.step_pic_into(&mut snap);
+        }
+
+        let before = allocs_on_this_thread();
+        for _ in 0..64 {
+            chip.step_pic_into(&mut snap);
+        }
+        let after = allocs_on_this_thread();
+        assert_eq!(
+            after - before,
+            0,
+            "{cores}-core steady-state step allocated {} times in 64 steps",
+            after - before
+        );
+        // The snapshot still carries real data (the loop wasn't elided).
+        assert_eq!(snap.core_powers.len(), cores);
+    }
+}

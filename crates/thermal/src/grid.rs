@@ -38,12 +38,23 @@ impl ThermalParams {
 }
 
 /// The thermal state of the die: one temperature per core node.
+///
+/// The lateral coupling graph is stored in CSR form (`neighbor_offsets` /
+/// `neighbor_links`) so the sub-stepped Euler loop walks one flat array
+/// instead of chasing a `Vec<Vec<usize>>` — and the integrator keeps a
+/// reusable `scratch` buffer so steady-state stepping never allocates.
 #[derive(Debug, Clone)]
 pub struct ThermalGrid {
     floorplan: Floorplan,
     params: ThermalParams,
     temperatures: Vec<f64>,
-    neighbors: Vec<Vec<usize>>,
+    /// CSR row offsets: node `i`'s neighbours live at
+    /// `neighbor_links[neighbor_offsets[i]..neighbor_offsets[i + 1]]`.
+    neighbor_offsets: Vec<usize>,
+    /// CSR column indices, in the floorplan's neighbour order.
+    neighbor_links: Vec<usize>,
+    /// Euler double-buffer, reused across steps.
+    scratch: Vec<f64>,
 }
 
 impl ThermalGrid {
@@ -52,20 +63,25 @@ impl ThermalGrid {
         assert!(params.r_vertical > 0.0 && params.r_lateral > 0.0);
         assert!(params.capacitance > 0.0);
         let n = floorplan.cores();
-        let neighbors = (0..n)
-            .map(|i| {
+        let mut neighbor_offsets = Vec::with_capacity(n + 1);
+        let mut neighbor_links = Vec::new();
+        neighbor_offsets.push(0);
+        for i in 0..n {
+            neighbor_links.extend(
                 floorplan
                     .neighbors(CoreId(i))
                     .into_iter()
-                    .map(|c| c.index())
-                    .collect()
-            })
-            .collect();
+                    .map(|c| c.index()),
+            );
+            neighbor_offsets.push(neighbor_links.len());
+        }
         Self {
             temperatures: vec![params.ambient.value(); n],
             floorplan,
             params,
-            neighbors,
+            neighbor_offsets,
+            neighbor_links,
+            scratch: vec![0.0; n],
         }
     }
 
@@ -86,7 +102,16 @@ impl ThermalGrid {
 
     /// All node temperatures, core-id order.
     pub fn temperatures(&self) -> Vec<Celsius> {
-        self.temperatures.iter().map(|&t| Celsius::new(t)).collect()
+        self.temperatures_deg()
+            .iter()
+            .map(|&t| Celsius::new(t))
+            .collect()
+    }
+
+    /// All node temperatures in °C, core-id order, borrowed — the
+    /// allocation-free accessor hot paths should prefer.
+    pub fn temperatures_deg(&self) -> &[f64] {
+        &self.temperatures
     }
 
     /// The hottest node and its temperature.
@@ -119,18 +144,21 @@ impl ThermalGrid {
         let dt_stable = 0.5 * p.capacitance / g_max;
         let substeps = (dt.value() / dt_stable).ceil().max(1.0) as usize;
         let h = dt.value() / substeps as f64;
-        let mut next = vec![0.0; self.temperatures.len()];
+        let mut next = std::mem::take(&mut self.scratch);
+        debug_assert_eq!(next.len(), self.temperatures.len());
         for _ in 0..substeps {
             for i in 0..self.temperatures.len() {
                 let t = self.temperatures[i];
                 let mut flow = powers[i].value() - (t - p.ambient.value()) / p.r_vertical;
-                for &j in &self.neighbors[i] {
+                let (lo, hi) = (self.neighbor_offsets[i], self.neighbor_offsets[i + 1]);
+                for &j in &self.neighbor_links[lo..hi] {
                     flow -= (t - self.temperatures[j]) / p.r_lateral;
                 }
                 next[i] = t + h * flow / p.capacitance;
             }
             std::mem::swap(&mut self.temperatures, &mut next);
         }
+        self.scratch = next;
     }
 
     /// The analytic steady-state temperature of a *uniformly powered* die:

@@ -5,6 +5,7 @@
 //! experiments all             run everything in paper order, in parallel
 //! experiments trace <cell>    replay one cell with the flight recorder on
 //! experiments perf [--quick]  time the hot paths, write BENCH_perf.json
+//! experiments scaling [--quick]  kilocore sweep, write BENCH_scaling.json
 //! experiments list            list experiment ids
 //! ```
 //!
@@ -32,8 +33,16 @@
 //! calibration) plus one single-worker `all` sweep, written to
 //! `BENCH_perf.json` (override with `CPM_PERF_JSON`). `--quick` cuts the
 //! time budget ~10× for the CI smoke lane.
+//!
+//! `scaling` runs the kilocore scaling study: cores ∈ {8…1024} × islands
+//! ∈ {2…16} under the performance-aware two-tier loop, recording ns/op
+//! per core, the GPM/PIC overhead split, and MaxBIPS-vs-two-tier decision
+//! latency, written to `BENCH_scaling.json` (override with
+//! `CPM_SCALING_JSON`). `--quick` shrinks the per-point time budget for
+//! the CI smoke lane.
 
 use cpm_bench::perf::{perf_json, run_perf};
+use cpm_bench::scaling::{run_scaling, scaling_json};
 use cpm_bench::trace::{run_trace, TraceOptions};
 use cpm_bench::{run_all, run_experiment, sweep_json, ALL_EXPERIMENTS};
 use cpm_units::Celsius;
@@ -173,6 +182,29 @@ fn perf_cmd(args: &[String]) {
     }
 }
 
+fn scaling_cmd(args: &[String]) {
+    let mut quick = false;
+    for a in args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown scaling flag `{other}` (expected --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_scaling(quick);
+    let path =
+        std::env::var("CPM_SCALING_JSON").unwrap_or_else(|_| "BENCH_scaling.json".to_string());
+    match std::fs::write(&path, scaling_json(&report)) {
+        Ok(()) => eprintln!("[scaling] written to {path}"),
+        Err(e) => {
+            eprintln!("[scaling] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -184,10 +216,12 @@ fn main() {
             println!("  all");
             println!("  trace <policy>@<budget>");
             println!("  perf [--quick]");
+            println!("  scaling [--quick]");
         }
         Some("all") => run_all_cmd(),
         Some("trace") => trace_cmd(&args[1..]),
         Some("perf") => perf_cmd(&args[1..]),
+        Some("scaling") => scaling_cmd(&args[1..]),
         Some(_) => {
             for id in &args {
                 run_one(id);

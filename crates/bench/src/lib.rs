@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod perf;
 pub mod report;
+pub mod scaling;
 pub mod trace;
 
 use experiments as ex;

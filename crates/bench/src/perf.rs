@@ -57,6 +57,22 @@ fn chip_step_target(cores: usize, width: usize, mix: Mix) -> impl FnMut() {
     move || chip.step_pic_into(black_box(&mut snap))
 }
 
+fn chip_step_kilocore_target(cores: usize, width: usize) -> impl FnMut() {
+    // paper_mix caps out at 32 cores; tile Mix 3 across the big chip.
+    let profiles: Vec<_> = WorkloadAssignment::paper_mix(Mix::Mix3, 32)
+        .profiles()
+        .iter()
+        .cloned()
+        .cycle()
+        .take(cores)
+        .collect();
+    let cfg = CmpConfig::with_topology(cores, width);
+    let assignment = WorkloadAssignment::new(profiles, width);
+    let mut chip = Chip::new(cfg, &assignment);
+    let mut snap = ChipSnapshot::empty();
+    move || chip.step_pic_into(black_box(&mut snap))
+}
+
 /// Runs the suite. `quick` cuts per-target time budgets ~10× (the CI
 /// smoke lane) — enough to catch order-of-magnitude regressions.
 pub fn run_perf(quick: bool) -> PerfReport {
@@ -73,6 +89,10 @@ pub fn run_perf(quick: bool) -> PerfReport {
     push(
         "chip_step_32",
         measure(quick, chip_step_target(32, 4, Mix::Mix3)),
+    );
+    push(
+        "chip_step_1024",
+        measure(quick, chip_step_kilocore_target(1024, 64)),
     );
 
     {

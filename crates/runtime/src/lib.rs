@@ -109,6 +109,15 @@ impl PoolStats {
         self.per_context.iter().map(|c| c.steals).sum()
     }
 
+    /// The lowest per-context utilization — the load-balance floor. A
+    /// healthy pool keeps this near the siblings' figure; a context left
+    /// idle by skewed injection drags it down.
+    pub fn utilization_min(&self) -> f64 {
+        (0..self.per_context.len())
+            .map(|k| self.utilization(k))
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Publishes this snapshot onto a `cpm-obs` metrics registry,
     /// replacing the ad-hoc jobs/steals/busy plumbing callers used to
     /// hand-roll. Snapshot values land on **gauges** (set, not add), so
@@ -125,6 +134,9 @@ impl PoolStats {
         registry
             .gauge("pool.steals_total")
             .set(self.total_steals() as f64);
+        registry
+            .gauge("pool.utilization_min")
+            .set(self.utilization_min());
         for (k, c) in self.per_context.iter().enumerate() {
             let name = if k == self.per_context.len() - 1 {
                 "caller".to_string()
@@ -268,16 +280,28 @@ impl Pool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let thread_count = if workers == 1 { 0 } else { workers };
+        let id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
+        let shard_count = thread_count.max(1);
+        // Seed the injection round-robin from the pool id (SplitMix64
+        // finalizer) so successive pools start their rotation on different
+        // shards: a fixed start pins every short batch's first — and under
+        // work stealing often only — cells onto the same worker, which is
+        // how one context ends up visibly under-utilized in the exported
+        // stats while its siblings stay busy.
+        let mut mix = id.wrapping_add(0x9E3779B97F4A7C15);
+        mix = (mix ^ (mix >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        mix = (mix ^ (mix >> 27)).wrapping_mul(0x94D049BB133111EB);
+        mix ^= mix >> 31;
         let inner = Arc::new(PoolInner {
-            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
-            shards: (0..thread_count.max(1))
+            id,
+            shards: (0..shard_count)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
             gate: Mutex::new(()),
             signal: Condvar::new(),
             live: AtomicBool::new(true),
             queued: AtomicUsize::new(0),
-            rr: AtomicUsize::new(0),
+            rr: AtomicUsize::new((mix % shard_count as u64) as usize),
             // One counter slot per worker plus the caller slot.
             counters: (0..thread_count + 1)
                 .map(|_| WorkerCounters::default())
@@ -632,10 +656,18 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.gauges["pool.jobs_total"], 40.0);
         assert_eq!(snap.gauges["pool.workers"], 2.0);
-        // 2 workers + caller slot, 4 gauges each, plus 4 pool-wide ones.
-        assert_eq!(snap.gauges.len(), 4 + 3 * 4);
+        // 2 workers + caller slot, 4 gauges each, plus 5 pool-wide ones.
+        assert_eq!(snap.gauges.len(), 5 + 3 * 4);
         assert!(snap.gauges.contains_key("pool.caller.busy_seconds"));
         assert!(snap.gauges.contains_key("pool.worker1.utilization"));
+        let util_min = snap.gauges["pool.utilization_min"];
+        let utils = [
+            snap.gauges["pool.worker0.utilization"],
+            snap.gauges["pool.worker1.utilization"],
+            snap.gauges["pool.caller.utilization"],
+        ];
+        let expect = utils.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(util_min, expect, "utilization_min must be the floor");
         // Re-export refreshes rather than double-counts.
         pool.parallel_map((0..10u32).collect(), |x| x);
         pool.export_metrics(&registry);

@@ -2,8 +2,7 @@
 //! control interval at a time.
 
 use crate::config::CmpConfig;
-use crate::core_model::CoreModel;
-use crate::island::IslandState;
+use crate::soa::{CoreBank, CoreView, IslandBank, IslandView};
 use cpm_power::variation::VariationMap;
 use cpm_thermal::ThermalGrid;
 use cpm_units::{Celsius, CoreId, IslandId, Ratio, Seconds, Watts};
@@ -83,11 +82,15 @@ impl ChipSnapshot {
 }
 
 /// The simulated CMP.
+///
+/// Hot per-core and per-island state lives in structure-of-arrays banks
+/// (see [`crate::soa`]); [`Chip::core`] and [`Chip::island`] expose the
+/// scalar-struct read API over them.
 #[derive(Debug, Clone)]
 pub struct Chip {
     config: CmpConfig,
-    cores: Vec<CoreModel>,
-    islands: Vec<IslandState>,
+    cores: CoreBank,
+    islands: IslandBank,
     thermal: ThermalGrid,
     variation: VariationMap,
     time: Seconds,
@@ -128,19 +131,13 @@ impl Chip {
             config.islands(),
             "variation map must cover every island"
         );
-        let cores: Vec<CoreModel> = (0..config.cores)
-            .map(|c| CoreModel::new(assignment.profile(CoreId(c)).clone(), config.seed, c as u64))
-            .collect();
+        let mut cores = CoreBank::new();
+        for c in 0..config.cores {
+            cores.push(assignment.profile(CoreId(c)).clone(), config.seed, c as u64);
+        }
         let top = config.dvfs.len() - 1;
-        let islands: Vec<IslandState> = (0..config.islands())
-            .map(|i| {
-                IslandState::new(
-                    IslandId(i),
-                    assignment.cores_of(IslandId(i)),
-                    top, // boot at the nominal (highest) operating point
-                )
-            })
-            .collect();
+        // Boot every island at the nominal (highest) operating point.
+        let islands = IslandBank::new(config.islands(), config.cores_per_island, top);
         let thermal = ThermalGrid::new(config.floorplan(), config.thermal);
         let max_power = Self::compute_max_power(&config, &variation);
         Self {
@@ -189,28 +186,34 @@ impl Chip {
 
     /// Current operating point of an island.
     pub fn island_dvfs(&self, island: IslandId) -> usize {
-        self.islands[island.index()].dvfs_index()
+        self.islands.dvfs_index(island.index())
     }
 
     /// Requests an island operating-point change (takes effect immediately;
     /// the transition freeze is charged to the next interval).
     pub fn set_island_dvfs(&mut self, island: IslandId, idx: usize) {
-        self.islands[island.index()].set_dvfs_index(idx, &self.config.dvfs);
+        self.islands
+            .set_dvfs_index(island.index(), idx, &self.config.dvfs);
     }
 
     /// Total DVFS transitions performed by an island so far.
     pub fn island_transitions(&self, island: IslandId) -> u64 {
-        self.islands[island.index()].transitions()
+        self.islands.transitions(island.index())
+    }
+
+    /// Read view of one core's state (profile, lifetime accounting).
+    pub fn core(&self, core: CoreId) -> CoreView<'_> {
+        CoreView::new(&self.cores, core)
+    }
+
+    /// Read view of one island's state (operating point, transitions).
+    pub fn island(&self, island: IslandId) -> IslandView<'_> {
+        IslandView::new(&self.islands, island)
     }
 
     /// The per-island process-variation map.
     pub fn variation(&self) -> &VariationMap {
         &self.variation
-    }
-
-    /// Per-core die temperatures.
-    pub fn temperatures(&self) -> Vec<Celsius> {
-        self.thermal.temperatures()
     }
 
     /// Per-core die temperatures in °C, borrowed (allocation-free).
@@ -257,49 +260,43 @@ impl Chip {
         let mut total_dram_bytes = 0.0;
         let contention = self.mem_contention;
 
-        for island in &mut self.islands {
-            let op = self.config.dvfs.point(island.dvfs_index());
-            let frozen = island.take_freeze(&self.config.dvfs, dt);
-            let leak_mult = self.variation.multiplier(island.id());
+        // One pass over all cores for the phase sequences (independent
+        // per-core streams, so this draws exactly what the per-island walk
+        // would), then one fused CPI+power pass per island segment.
+        self.cores.advance_phases(dt);
+        for i in 0..self.islands.len() {
+            let op = self.config.dvfs.point(self.islands.dvfs_index(i));
+            let frozen = self.islands.take_freeze(i, &self.config.dvfs, dt);
+            let leak_mult = self.variation.multiplier(IslandId(i));
             // V²f and the leakage voltage factor are functions of the
             // operating point alone — compute them once per island, not
             // once per core (bit-identical, see `IslandPowerTerms`).
             let terms = self.config.power.island_terms(op);
-            let mut power = Watts::ZERO;
-            let mut util_sum = 0.0;
-            let mut instructions = 0.0;
-            for &core_id in island.cores() {
-                let temp = self.thermal.temperature(core_id);
-                let stats = self.cores[core_id.index()].step_contended(
-                    op.frequency,
-                    dt,
-                    frozen,
-                    contention,
-                );
-                total_dram_bytes += stats.dram_bytes;
-                let p = self.config.power.total_power_with_terms(
-                    terms,
-                    stats.activity,
-                    temp,
-                    leak_mult,
-                );
-                out.core_powers[core_id.index()] = p;
-                power += p;
-                util_sum += stats.utilization.value();
-                instructions += stats.instructions;
-            }
-            let n = island.cores().len() as f64;
-            total_instructions += instructions;
-            let utilization = Ratio::new(util_sum / n);
+            let totals = self.cores.step_segment(
+                self.islands.core_range(i),
+                op.frequency,
+                dt,
+                frozen,
+                contention,
+                &self.config.power,
+                terms,
+                leak_mult,
+                self.thermal.temperatures_deg(),
+                &mut out.core_powers,
+                &mut total_dram_bytes,
+            );
+            let n = self.islands.width() as f64;
+            total_instructions += totals.instructions;
+            let utilization = Ratio::new(totals.util_sum / n);
             let f_ratio = op.frequency / self.config.dvfs.max_point().frequency;
             out.islands.push(IslandSnapshot {
-                island: island.id(),
-                power,
+                island: IslandId(i),
+                power: totals.power,
                 utilization,
                 capacity_utilization: Ratio::new(utilization.value() * f_ratio),
-                instructions,
-                bips: instructions / dt.value() / 1.0e9,
-                dvfs_index: island.dvfs_index(),
+                instructions: totals.instructions,
+                bips: totals.instructions / dt.value() / 1.0e9,
+                dvfs_index: self.islands.dvfs_index(i),
             });
         }
 
@@ -433,12 +430,12 @@ mod tests {
     #[test]
     fn temperatures_rise_under_load() {
         let mut c = chip();
-        let ambient = c.temperatures()[0];
+        let ambient = c.temperatures_deg()[0];
         for _ in 0..400 {
             c.step_pic();
         }
-        for t in c.temperatures() {
-            assert!(t > ambient, "core should heat up: {t}");
+        for &t in c.temperatures_deg() {
+            assert!(t > ambient, "core should heat up: {t} °C");
         }
     }
 

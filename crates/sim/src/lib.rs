@@ -24,10 +24,12 @@ pub mod chip;
 pub mod config;
 pub mod core_model;
 pub mod island;
+pub mod soa;
 pub mod stats;
 
 pub use chip::{Chip, ChipSnapshot, IslandSnapshot};
 pub use config::CmpConfig;
 pub use core_model::CoreModel;
 pub use island::IslandState;
+pub use soa::{CoreBank, CoreView, IslandBank, IslandView};
 pub use stats::TimeSeries;

@@ -1,0 +1,490 @@
+//! Structure-of-arrays chip state: the kilocore-scaling layout.
+//!
+//! [`crate::core_model::CoreModel`] and [`crate::island::IslandState`] are
+//! the right unit of *meaning* — one core, one island — but a 1024-core
+//! step over `Vec<CoreModel>` walks a thousand scattered structs. The
+//! banks here keep every hot scalar in its own contiguous `Vec<f64>` so
+//! [`crate::chip::Chip`] steps an island as one tight loop over a segment
+//! of parallel arrays, fusing the CPI model with the per-island V²f/leakage
+//! power terms in a single pass.
+//!
+//! The contract: a [`CoreBank`] stepped segment-by-segment produces
+//! bit-identical results to the same cores stepped one
+//! [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended) at a time, and an [`IslandBank`] mirrors
+//! [`IslandState`](crate::island::IslandState)'s actuation semantics exactly. The scalar structs stay
+//! the public single-entity API; [`CoreView`] / [`IslandView`] re-expose
+//! their read accessors over the banks.
+
+use cpm_power::dvfs::DvfsTable;
+use cpm_power::{CorePowerModel, IslandPowerTerms};
+use cpm_units::{Celsius, CoreId, Hertz, IslandId, Ratio, Seconds, Watts};
+use cpm_workloads::{BenchmarkProfile, PhaseBank};
+use std::ops::Range;
+
+/// Island-level aggregates of one [`CoreBank::step_segment`] call — the
+/// quantities `Chip::step_into` folds into an `IslandSnapshot`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentTotals {
+    /// Σ core power over the segment.
+    pub power: Watts,
+    /// Σ per-core utilization (callers divide by the core count).
+    pub util_sum: f64,
+    /// Σ instructions retired.
+    pub instructions: f64,
+}
+
+/// All cores of a chip in structure-of-arrays form.
+///
+/// Each index holds exactly the state a [`CoreModel`](crate::core_model::CoreModel) would: the profile's
+/// hot scalars, the (possibly calibrated) miss rates, lifetime accounting,
+/// and the per-core phase sequence. The three `*_scale` arrays are scratch
+/// for the interval's phase samples, filled by
+/// [`CoreBank::advance_phases`] and consumed by
+/// [`CoreBank::step_segment`].
+#[derive(Debug, Clone, Default)]
+pub struct CoreBank {
+    profiles: Vec<BenchmarkProfile>,
+    base_cpi: Vec<f64>,
+    activity: Vec<f64>,
+    l1_mpki: Vec<f64>,
+    l2_mpki: Vec<f64>,
+    total_instructions: Vec<f64>,
+    total_time: Vec<f64>,
+    phases: PhaseBank,
+    cpi_scale: Vec<f64>,
+    mem_scale: Vec<f64>,
+    activity_scale: Vec<f64>,
+}
+
+impl CoreBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the core [`CoreModel::new`](crate::core_model::CoreModel::new) would build for
+    /// `(profile, seed, stream)`.
+    pub fn push(&mut self, profile: BenchmarkProfile, seed: u64, stream: u64) {
+        self.phases.push(&profile, seed, stream);
+        self.base_cpi.push(profile.base_cpi);
+        self.activity.push(profile.activity);
+        self.l1_mpki.push(profile.l1_mpki);
+        self.l2_mpki.push(profile.l2_mpki);
+        self.total_instructions.push(0.0);
+        self.total_time.push(0.0);
+        self.cpi_scale.push(1.0);
+        self.mem_scale.push(1.0);
+        self.activity_scale.push(1.0);
+        self.profiles.push(profile);
+    }
+
+    /// Number of cores in the bank.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the bank holds no cores.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Advances every core's phase sequence by `dt`, leaving the interval's
+    /// samples in the scale scratch arrays. Per-core phase streams are
+    /// independent, so one chip-wide pass draws exactly the numbers the
+    /// per-core walk would.
+    pub fn advance_phases(&mut self, dt: Seconds) {
+        self.phases.advance_into(
+            dt,
+            &mut self.cpi_scale,
+            &mut self.mem_scale,
+            &mut self.activity_scale,
+        );
+    }
+
+    /// Steps the cores in `range` (one island's contiguous segment) through
+    /// one interval at frequency `f`, fusing the CPI model with the power
+    /// model whose island-constant `terms` the caller hoisted.
+    ///
+    /// Per-core power lands in `core_powers[i]`; DRAM traffic accumulates
+    /// onto `total_dram_bytes` in core order so the chip-wide sum keeps the
+    /// exact addition order of the array-of-structs walk. Every expression
+    /// matches [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended) token for token (the
+    /// island-constant `avail`/`cycles`/`avail_frac` hoists are pure
+    /// functions of island-constant inputs), so results are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_segment(
+        &mut self,
+        range: Range<usize>,
+        f: Hertz,
+        dt: Seconds,
+        frozen: Seconds,
+        dram_latency_mult: f64,
+        power_model: &CorePowerModel,
+        terms: IslandPowerTerms,
+        leak_mult: f64,
+        temps_deg: &[f64],
+        core_powers: &mut [Watts],
+        total_dram_bytes: &mut f64,
+    ) -> SegmentTotals {
+        assert!(f.value() > 0.0, "core clock must be positive");
+        assert!(
+            frozen.value() >= 0.0 && frozen <= dt,
+            "freeze within interval"
+        );
+        assert!(dram_latency_mult >= 1.0, "contention can only slow memory");
+        let avail = dt - frozen;
+        let cycles = f.cycles_in(avail);
+        let avail_frac = avail.value() / dt.value();
+        let f_val = f.value();
+        let mut totals = SegmentTotals {
+            power: Watts::ZERO,
+            util_sum: 0.0,
+            instructions: 0.0,
+        };
+        for i in range {
+            let mem = self.mem_scale[i];
+            let on_chip = self.base_cpi[i] * self.cpi_scale[i]
+                + self.l1_mpki[i] * mem / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
+            let dram_base =
+                self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * f_val;
+            let dram = dram_base * dram_latency_mult;
+            let cpi = on_chip + dram;
+            let instructions = cycles / cpi;
+            let busy_frac = on_chip / cpi;
+            let utilization = Ratio::new(busy_frac * avail_frac).clamped();
+            let activity =
+                Ratio::new(self.activity[i] * self.activity_scale[i] * busy_frac * avail_frac)
+                    .clamped();
+            self.total_instructions[i] += instructions;
+            self.total_time[i] += dt.value();
+            *total_dram_bytes += instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
+            let p = power_model.total_power_with_terms(
+                terms,
+                activity,
+                Celsius::new(temps_deg[i]),
+                leak_mult,
+            );
+            core_powers[i] = p;
+            totals.power += p;
+            totals.util_sum += utilization.value();
+            totals.instructions += instructions;
+        }
+        totals
+    }
+}
+
+/// All islands of a chip in structure-of-arrays form: islands own
+/// contiguous, equal-width core segments, so per-island core lists reduce
+/// to one `width` scalar and [`IslandBank::core_range`].
+#[derive(Debug, Clone)]
+pub struct IslandBank {
+    width: usize,
+    dvfs_index: Vec<usize>,
+    /// Set when the operating point changed since the last interval — the
+    /// next interval pays the freeze cost (see [`crate::island::IslandState`]).
+    pending_transition: Vec<bool>,
+    transitions: Vec<u64>,
+}
+
+impl IslandBank {
+    /// Creates `islands` islands of `width` cores each, all starting at
+    /// `dvfs_index`.
+    pub fn new(islands: usize, width: usize, dvfs_index: usize) -> Self {
+        assert!(width > 0, "an island needs at least one core");
+        Self {
+            width,
+            dvfs_index: vec![dvfs_index; islands],
+            pending_transition: vec![false; islands],
+            transitions: vec![0; islands],
+        }
+    }
+
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.dvfs_index.len()
+    }
+
+    /// Whether the bank holds no islands.
+    pub fn is_empty(&self) -> bool {
+        self.dvfs_index.is_empty()
+    }
+
+    /// Cores per island.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The contiguous core-index segment of island `i`.
+    pub fn core_range(&self, i: usize) -> Range<usize> {
+        i * self.width..(i + 1) * self.width
+    }
+
+    /// Current operating-point index of island `i`.
+    pub fn dvfs_index(&self, i: usize) -> usize {
+        self.dvfs_index[i]
+    }
+
+    /// Requests a new operating point for island `i` — same semantics as
+    /// [`IslandState::set_dvfs_index`](crate::island::IslandState::set_dvfs_index): a real change schedules a freeze
+    /// for the next interval; requesting the current point is free.
+    pub fn set_dvfs_index(&mut self, i: usize, idx: usize, table: &DvfsTable) {
+        assert!(idx < table.len(), "operating point {idx} out of range");
+        if idx != self.dvfs_index[i] {
+            self.dvfs_index[i] = idx;
+            self.pending_transition[i] = true;
+            self.transitions[i] += 1;
+        }
+    }
+
+    /// Consumes island `i`'s pending transition, returning the freeze time
+    /// to charge against an interval of length `dt` (see
+    /// [`IslandState::take_freeze`](crate::island::IslandState::take_freeze)).
+    pub fn take_freeze(&mut self, i: usize, table: &DvfsTable, dt: Seconds) -> Seconds {
+        if self.pending_transition[i] {
+            self.pending_transition[i] = false;
+            dt * table.transition_overhead()
+        } else {
+            Seconds::ZERO
+        }
+    }
+
+    /// Total operating-point changes by island `i` so far.
+    pub fn transitions(&self, i: usize) -> u64 {
+        self.transitions[i]
+    }
+}
+
+/// Read view of one core inside a [`CoreBank`] — the accessors
+/// [`CoreModel`](crate::core_model::CoreModel) offers, backed by the parallel arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreView<'a> {
+    bank: &'a CoreBank,
+    index: usize,
+}
+
+impl<'a> CoreView<'a> {
+    /// A view of core `core` in `bank`.
+    pub fn new(bank: &'a CoreBank, core: CoreId) -> Self {
+        Self {
+            bank,
+            index: core.index(),
+        }
+    }
+
+    /// The benchmark this core runs.
+    pub fn profile(&self) -> &'a BenchmarkProfile {
+        &self.bank.profiles[self.index]
+    }
+
+    /// Cumulative instructions retired.
+    pub fn total_instructions(&self) -> f64 {
+        self.bank.total_instructions[self.index]
+    }
+
+    /// Cumulative simulated time.
+    pub fn total_time(&self) -> Seconds {
+        Seconds::new(self.bank.total_time[self.index])
+    }
+}
+
+/// Read view of one island inside an [`IslandBank`] — the accessors
+/// [`IslandState`](crate::island::IslandState) offers, backed by the parallel arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct IslandView<'a> {
+    bank: &'a IslandBank,
+    index: usize,
+}
+
+impl<'a> IslandView<'a> {
+    /// A view of island `island` in `bank`.
+    pub fn new(bank: &'a IslandBank, island: IslandId) -> Self {
+        Self {
+            bank,
+            index: island.index(),
+        }
+    }
+
+    /// The island's id.
+    pub fn id(&self) -> IslandId {
+        IslandId(self.index)
+    }
+
+    /// The cores in this island, as a contiguous index range.
+    pub fn cores(&self) -> Range<usize> {
+        self.bank.core_range(self.index)
+    }
+
+    /// Current operating-point index.
+    pub fn dvfs_index(&self) -> usize {
+        self.bank.dvfs_index(self.index)
+    }
+
+    /// Total operating-point changes so far.
+    pub fn transitions(&self) -> u64 {
+        self.bank.transitions(self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::CoreModel;
+    use crate::island::IslandState;
+    use cpm_workloads::parsec;
+
+    /// The heart of the SoA contract: a bank stepped segment-at-a-time is
+    /// bit-identical to the same cores stepped one `CoreModel` at a time,
+    /// including lifetime accounting and the chip-order DRAM-byte sum.
+    #[test]
+    fn bank_matches_scalar_core_models_bitwise() {
+        let profiles: Vec<BenchmarkProfile> = parsec::all().into_iter().cycle().take(16).collect();
+        let seed = 0xC0FFEE;
+        let mut scalars: Vec<CoreModel> = profiles
+            .iter()
+            .enumerate()
+            .map(|(c, p)| CoreModel::new(p.clone(), seed, c as u64))
+            .collect();
+        let mut bank = CoreBank::new();
+        for (c, p) in profiles.iter().enumerate() {
+            bank.push(p.clone(), seed, c as u64);
+        }
+        let power_model = CorePowerModel::paper_default();
+        let table = DvfsTable::pentium_m();
+        let dt = Seconds::from_ms(0.5);
+        let temps: Vec<f64> = (0..16).map(|i| 45.0 + i as f64 * 0.5).collect();
+        let mut core_powers = vec![Watts::ZERO; 16];
+        let width = 4;
+        for step in 0..200 {
+            // Wander the knobs: per-island operating points, occasional
+            // freezes, drifting contention.
+            let contention = 1.0 + (step % 5) as f64 * 0.3;
+            bank.advance_phases(dt);
+            let mut bank_dram = 0.0;
+            let mut scalar_dram = 0.0;
+            for island in 0..4 {
+                let op = table.point((island + step) % table.len());
+                let frozen = if step % 11 == 0 {
+                    dt * 0.005
+                } else {
+                    Seconds::ZERO
+                };
+                let terms = power_model.island_terms(op);
+                let leak_mult = 1.0 + island as f64 * 0.1;
+                let totals = bank.step_segment(
+                    island * width..(island + 1) * width,
+                    op.frequency,
+                    dt,
+                    frozen,
+                    contention,
+                    &power_model,
+                    terms,
+                    leak_mult,
+                    &temps,
+                    &mut core_powers,
+                    &mut bank_dram,
+                );
+                let mut power = Watts::ZERO;
+                let mut util_sum = 0.0;
+                let mut instructions = 0.0;
+                for c in island * width..(island + 1) * width {
+                    let stats = scalars[c].step_contended(op.frequency, dt, frozen, contention);
+                    scalar_dram += stats.dram_bytes;
+                    let p = power_model.total_power_with_terms(
+                        terms,
+                        stats.activity,
+                        Celsius::new(temps[c]),
+                        leak_mult,
+                    );
+                    assert_eq!(core_powers[c], p, "core {c} power, step {step}");
+                    power += p;
+                    util_sum += stats.utilization.value();
+                    instructions += stats.instructions;
+                }
+                assert_eq!(totals.power, power, "island {island} power, step {step}");
+                assert_eq!(
+                    totals.util_sum.to_bits(),
+                    util_sum.to_bits(),
+                    "island {island} utilization, step {step}"
+                );
+                assert_eq!(
+                    totals.instructions.to_bits(),
+                    instructions.to_bits(),
+                    "island {island} instructions, step {step}"
+                );
+            }
+            assert_eq!(bank_dram.to_bits(), scalar_dram.to_bits(), "step {step}");
+        }
+        for (c, scalar) in scalars.iter().enumerate() {
+            let view = CoreView::new(&bank, CoreId(c));
+            assert_eq!(view.total_instructions(), scalar.total_instructions());
+            assert_eq!(view.total_time(), scalar.total_time());
+            assert_eq!(view.profile().name, scalar.profile().name);
+        }
+    }
+
+    #[test]
+    fn island_bank_mirrors_island_state() {
+        let table = DvfsTable::pentium_m();
+        let dt = Seconds::from_ms(0.5);
+        let mut bank = IslandBank::new(4, 2, 7);
+        let mut scalars: Vec<IslandState> = (0..4)
+            .map(|i| IslandState::new(IslandId(i), vec![CoreId(2 * i), CoreId(2 * i + 1)], 7))
+            .collect();
+        let schedule = [3usize, 3, 7, 0, 5, 5, 7, 7, 1];
+        for (k, &idx) in schedule.iter().enumerate() {
+            let i = k % 4;
+            bank.set_dvfs_index(i, idx, &table);
+            scalars[i].set_dvfs_index(idx, &table);
+            for (j, scalar) in scalars.iter().enumerate() {
+                assert_eq!(bank.dvfs_index(j), scalar.dvfs_index());
+                assert_eq!(bank.transitions(j), scalar.transitions());
+            }
+            let j = (k + 1) % 4;
+            assert_eq!(
+                bank.take_freeze(j, &table, dt),
+                scalars[j].take_freeze(&table, dt)
+            );
+        }
+        let view = IslandView::new(&bank, IslandId(2));
+        assert_eq!(view.id(), IslandId(2));
+        assert_eq!(view.cores(), 4..6);
+        assert_eq!(view.dvfs_index(), bank.dvfs_index(2));
+        assert_eq!(view.transitions(), bank.transitions(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_width_island_bank_rejected() {
+        IslandBank::new(4, 0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn island_bank_rejects_out_of_range_point() {
+        IslandBank::new(1, 2, 7).set_dvfs_index(0, 8, &DvfsTable::pentium_m());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze within interval")]
+    fn segment_rejects_oversized_freeze() {
+        let mut bank = CoreBank::new();
+        bank.push(parsec::x264(), 1, 0);
+        let power_model = CorePowerModel::paper_default();
+        let table = DvfsTable::pentium_m();
+        let terms = power_model.island_terms(table.max_point());
+        bank.advance_phases(Seconds::from_ms(0.5));
+        bank.step_segment(
+            0..1,
+            table.max_point().frequency,
+            Seconds::from_ms(0.5),
+            Seconds::from_ms(1.0),
+            1.0,
+            &power_model,
+            terms,
+            1.0,
+            &[45.0],
+            &mut [Watts::ZERO],
+            &mut 0.0,
+        );
+    }
+}

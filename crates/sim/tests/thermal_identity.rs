@@ -1,0 +1,52 @@
+//! Tiled-vs-reference thermal stencil identity under *real* chip load.
+//!
+//! The unit tests in `cpm-thermal` drive both integrators with random
+//! power fields; this test closes the loop at the system level: for every
+//! PARSEC profile, a full chip run produces the per-core power series, and
+//! the tiled stencil must reproduce the reference CSR integrator bit for
+//! bit on exactly that input.
+
+use cpm_sim::{Chip, CmpConfig};
+use cpm_thermal::ThermalGrid;
+use cpm_workloads::{parsec, WorkloadAssignment};
+
+#[test]
+fn tiled_stencil_matches_reference_on_every_parsec_profile() {
+    for profile in parsec::all() {
+        let name = profile.name;
+        let cfg = CmpConfig::with_topology(8, 2);
+        let assignment = WorkloadAssignment::new(vec![profile; 8], 2);
+        let mut chip = Chip::new(cfg.clone(), &assignment);
+        let mut tiled = ThermalGrid::new(cfg.floorplan(), cfg.thermal);
+        let mut reference = tiled.clone();
+        let dt = cfg.pic_interval;
+        for step in 0..200 {
+            let snap = chip.step_pic();
+            tiled.step(&snap.core_powers, dt);
+            reference.step_reference(&snap.core_powers, dt);
+            for (i, (a, b)) in tiled
+                .temperatures_deg()
+                .iter()
+                .zip(reference.temperatures_deg())
+                .enumerate()
+            {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{name}: node {i} diverged at step {step}: {a} vs {b}"
+                );
+            }
+            // The chip's own grid ran the tiled path — it must agree too.
+            for (i, (a, b)) in chip
+                .temperatures_deg()
+                .iter()
+                .zip(reference.temperatures_deg())
+                .enumerate()
+            {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{name}: chip node {i} diverged at step {step}"
+                );
+            }
+        }
+    }
+}

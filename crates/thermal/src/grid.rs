@@ -100,14 +100,6 @@ impl ThermalGrid {
         Celsius::new(self.temperatures[core.index()])
     }
 
-    /// All node temperatures, core-id order.
-    pub fn temperatures(&self) -> Vec<Celsius> {
-        self.temperatures_deg()
-            .iter()
-            .map(|&t| Celsius::new(t))
-            .collect()
-    }
-
     /// All node temperatures in °C, core-id order, borrowed — the
     /// allocation-free accessor hot paths should prefer.
     pub fn temperatures_deg(&self) -> &[f64] {
@@ -132,18 +124,79 @@ impl ThermalGrid {
 
     /// Advances the network by `dt` with per-core heat input `powers`
     /// (watts, core-id order), sub-stepping as needed for stability.
+    ///
+    /// The update walks the floorplan row by row with the boundary columns
+    /// peeled, so the interior of each row is a branch-light stencil over
+    /// four fixed strides instead of a CSR gather. Flow terms accumulate in
+    /// the floorplan's neighbour order (up, down, left, right) with the
+    /// same expressions as [`ThermalGrid::step_reference`], so results are
+    /// bit-identical to the reference integrator.
     pub fn step(&mut self, powers: &[Watts], dt: Seconds) {
         assert_eq!(
             powers.len(),
             self.temperatures.len(),
             "one power value per core required"
         );
+        let (rows, cols) = (self.floorplan.rows(), self.floorplan.cols());
+        let (substeps, h) = self.substep_schedule(dt);
+        let r_v = self.params.r_vertical;
+        let r_l = self.params.r_lateral;
+        let cap = self.params.capacitance;
+        let ambient = self.params.ambient.value();
+        let mut next = std::mem::take(&mut self.scratch);
+        debug_assert_eq!(next.len(), self.temperatures.len());
+        for _ in 0..substeps {
+            let temps = &self.temperatures;
+            for r in 0..rows {
+                let base = r * cols;
+                let has_up = r > 0;
+                let has_down = r + 1 < rows;
+                // One node's Euler update; `$left`/`$right` are const at
+                // each expansion, and `has_up`/`has_down` are row-invariant,
+                // so the interior loop body carries no per-column branches.
+                macro_rules! relax {
+                    ($c:expr, $left:expr, $right:expr) => {{
+                        let i = base + $c;
+                        let t = temps[i];
+                        let mut flow = powers[i].value() - (t - ambient) / r_v;
+                        if has_up {
+                            flow -= (t - temps[i - cols]) / r_l;
+                        }
+                        if has_down {
+                            flow -= (t - temps[i + cols]) / r_l;
+                        }
+                        if $left {
+                            flow -= (t - temps[i - 1]) / r_l;
+                        }
+                        if $right {
+                            flow -= (t - temps[i + 1]) / r_l;
+                        }
+                        next[i] = t + h * flow / cap;
+                    }};
+                }
+                relax!(0, false, cols > 1);
+                for c in 1..cols.saturating_sub(1) {
+                    relax!(c, true, true);
+                }
+                if cols > 1 {
+                    relax!(cols - 1, true, false);
+                }
+            }
+            std::mem::swap(&mut self.temperatures, &mut next);
+        }
+        self.scratch = next;
+    }
+
+    /// The unfused CSR-gather integrator [`ThermalGrid::step`] replaced —
+    /// kept public as the bit-identity reference for the tiled stencil.
+    pub fn step_reference(&mut self, powers: &[Watts], dt: Seconds) {
+        assert_eq!(
+            powers.len(),
+            self.temperatures.len(),
+            "one power value per core required"
+        );
         let p = &self.params;
-        // Explicit-Euler stability bound on the nodal conductance sum.
-        let g_max = 1.0 / p.r_vertical + 4.0 / p.r_lateral;
-        let dt_stable = 0.5 * p.capacitance / g_max;
-        let substeps = (dt.value() / dt_stable).ceil().max(1.0) as usize;
-        let h = dt.value() / substeps as f64;
+        let (substeps, h) = self.substep_schedule(dt);
         let mut next = std::mem::take(&mut self.scratch);
         debug_assert_eq!(next.len(), self.temperatures.len());
         for _ in 0..substeps {
@@ -159,6 +212,16 @@ impl ThermalGrid {
             std::mem::swap(&mut self.temperatures, &mut next);
         }
         self.scratch = next;
+    }
+
+    /// Explicit-Euler stability bound on the nodal conductance sum: the
+    /// number of substeps covering `dt` and the substep length.
+    fn substep_schedule(&self, dt: Seconds) -> (usize, f64) {
+        let p = &self.params;
+        let g_max = 1.0 / p.r_vertical + 4.0 / p.r_lateral;
+        let dt_stable = 0.5 * p.capacitance / g_max;
+        let substeps = (dt.value() / dt_stable).ceil().max(1.0) as usize;
+        (substeps, dt.value() / substeps as f64)
     }
 
     /// The analytic steady-state temperature of a *uniformly powered* die:
@@ -180,8 +243,8 @@ mod tests {
     #[test]
     fn starts_at_ambient() {
         let g = grid_2x4();
-        for t in g.temperatures() {
-            assert_eq!(t, Celsius::new(45.0));
+        for &t in g.temperatures_deg() {
+            assert_eq!(t, 45.0);
         }
     }
 
@@ -194,10 +257,10 @@ mod tests {
             g.step(&p, Seconds::from_ms(5.0));
         }
         let expect = g.uniform_steady_state(Watts::new(10.0));
-        for t in g.temperatures() {
+        for &t in g.temperatures_deg() {
             assert!(
-                (t.value() - expect.value()).abs() < 0.05,
-                "node at {t}, expected {expect}"
+                (t - expect.value()).abs() < 0.05,
+                "node at {t} °C, expected {expect}"
             );
         }
     }
@@ -206,8 +269,8 @@ mod tests {
     fn zero_power_stays_at_ambient() {
         let mut g = grid_2x4();
         g.step(&[Watts::ZERO; 8], Seconds::from_ms(100.0));
-        for t in g.temperatures() {
-            assert!((t.value() - 45.0).abs() < 1e-9);
+        for &t in g.temperatures_deg() {
+            assert!((t - 45.0).abs() < 1e-9);
         }
     }
 
@@ -258,9 +321,9 @@ mod tests {
         // A huge dt must be sub-stepped, not explode.
         let mut g = grid_2x4();
         g.step(&[Watts::new(10.0); 8], Seconds::new(5.0));
-        for t in g.temperatures() {
+        for &t in g.temperatures_deg() {
             assert!(t.is_finite());
-            assert!(t.value() < 100.0, "temperature {t} diverged");
+            assert!(t < 100.0, "temperature {t} °C diverged");
         }
     }
 
@@ -269,8 +332,8 @@ mod tests {
         let mut g = grid_2x4();
         g.step(&[Watts::new(10.0); 8], Seconds::new(1.0));
         g.reset();
-        for t in g.temperatures() {
-            assert_eq!(t, Celsius::new(45.0));
+        for &t in g.temperatures_deg() {
+            assert_eq!(t, 45.0);
         }
     }
 
@@ -287,5 +350,102 @@ mod tests {
     #[should_panic(expected = "one power value per core")]
     fn wrong_power_length_panics() {
         grid_2x4().step(&[Watts::ZERO; 3], Seconds::from_ms(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one power value per core")]
+    fn wrong_power_length_panics_in_reference() {
+        grid_2x4().step_reference(&[Watts::ZERO; 3], Seconds::from_ms(1.0));
+    }
+
+    /// The tiled stencil must agree with the CSR reference to the last bit,
+    /// on every grid shape the stencil specializes (single row, single
+    /// column, even/odd widths, the kilocore 32×32 floorplan).
+    #[test]
+    fn tiled_stencil_is_bit_identical_to_reference() {
+        use cpm_rng::Xoshiro256pp;
+        for &(rows, cols) in &[(1, 1), (1, 5), (5, 1), (2, 4), (3, 3), (4, 8), (32, 32)] {
+            let params = ThermalParams::paper_default();
+            let mut tiled = ThermalGrid::new(Floorplan::grid(rows, cols), params);
+            let mut reference = tiled.clone();
+            let mut rng = Xoshiro256pp::seed_from_u64(rows as u64 * 1000 + cols as u64);
+            let n = rows * cols;
+            let mut powers = vec![Watts::ZERO; n];
+            for step in 0..50 {
+                for p in powers.iter_mut() {
+                    *p = Watts::new(rng.f64_in(0.0, 12.0));
+                }
+                // Mix substep counts: 0.5 ms runs one substep, 40 ms several.
+                let dt = if step % 7 == 0 {
+                    Seconds::from_ms(40.0)
+                } else {
+                    Seconds::from_ms(0.5)
+                };
+                tiled.step(&powers, dt);
+                reference.step_reference(&powers, dt);
+                for (i, (a, b)) in tiled
+                    .temperatures_deg()
+                    .iter()
+                    .zip(reference.temperatures_deg())
+                    .enumerate()
+                {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{rows}×{cols} node {i} diverged at step {step}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Analytic steady state at the kilocore scale: a uniformly powered
+    /// 32×32 die has no lateral flow, so every node settles at
+    /// `T = T_amb + P·R_v`.
+    #[test]
+    fn kilocore_grid_reaches_analytic_steady_state() {
+        let mut g = ThermalGrid::new(Floorplan::grid(32, 32), ThermalParams::paper_default());
+        let p = vec![Watts::new(7.0); 1024];
+        for _ in 0..200 {
+            g.step(&p, Seconds::from_ms(5.0));
+        }
+        let expect = g.uniform_steady_state(Watts::new(7.0));
+        assert!((expect.value() - 59.0).abs() < 1e-12, "45 + 7·2 = 59 °C");
+        for (i, &t) in g.temperatures_deg().iter().enumerate() {
+            assert!(
+                (t - expect.value()).abs() < 0.05,
+                "node {i} at {t} °C, expected {expect}"
+            );
+        }
+    }
+
+    /// Substep stability on the 32×32 floorplan: whatever dt and power
+    /// pattern the controller throws at the grid, automatic sub-stepping
+    /// must keep every node finite and below the hottest physically
+    /// reachable steady state.
+    #[test]
+    fn kilocore_substep_stability_property() {
+        use cpm_rng::check;
+        check::forall_cases("32×32 substep stability", 32, |rng| {
+            let mut g = ThermalGrid::new(Floorplan::grid(32, 32), ThermalParams::paper_default());
+            let p_max = 12.0;
+            let mut powers = vec![Watts::ZERO; 1024];
+            for _ in 0..20 {
+                for p in powers.iter_mut() {
+                    *p = Watts::new(rng.f64_in(0.0, p_max));
+                }
+                // Spans sub-millisecond PIC intervals through multi-second
+                // jumps (thousands of substeps).
+                let dt = Seconds::new(rng.f64_in(1e-4, 2.0));
+                g.step(&powers, dt);
+                let ceiling = g.uniform_steady_state(Watts::new(p_max)).value();
+                for &t in g.temperatures_deg() {
+                    assert!(t.is_finite(), "diverged at dt {dt:?}");
+                    assert!(
+                        t >= 45.0 - 1e-9 && t <= ceiling + 1e-9,
+                        "node at {t} °C outside [ambient, {ceiling}]"
+                    );
+                }
+            }
+        });
     }
 }

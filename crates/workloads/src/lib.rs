@@ -28,5 +28,5 @@ pub mod spec;
 
 pub use address_stream::AddressStream;
 pub use mixes::{Mix, WorkloadAssignment};
-pub use phase::{PhaseGenerator, PhaseSample};
+pub use phase::{PhaseBank, PhaseGenerator, PhaseSample};
 pub use profile::{BenchmarkProfile, InputSet, WorkloadClass};

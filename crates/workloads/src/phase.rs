@@ -140,6 +140,123 @@ impl PhaseGenerator {
     }
 }
 
+/// A structure-of-arrays batch of phase generators: one entry per core,
+/// with every hot scalar in its own contiguous `Vec` so the simulator can
+/// advance all cores in one pass instead of chasing per-core structs.
+///
+/// Each entry replicates [`PhaseGenerator`] state-for-state (the Markov
+/// level is stored directly as its intensity, which `Level::intensity`
+/// maps 1:1), and [`PhaseBank::advance_into`] evaluates the exact
+/// expressions of [`PhaseGenerator::advance`] in the same order, so a bank
+/// built by pushing `(profile, seed, stream)` triples is bit-identical to
+/// a `Vec<PhaseGenerator>` built from the same triples.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBank {
+    rng: Vec<Xoshiro256pp>,
+    period: Vec<f64>,
+    variability: Vec<f64>,
+    phase_offset: Vec<f64>,
+    /// The current Markov level as its intensity: −1 (low), 0 (nominal),
+    /// +1 (high).
+    level_intensity: Vec<f64>,
+    mean_dwell: Vec<f64>,
+    elapsed: Vec<f64>,
+}
+
+impl PhaseBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of per-core sequences in the bank.
+    pub fn len(&self) -> usize {
+        self.rng.len()
+    }
+
+    /// Whether the bank holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.rng.is_empty()
+    }
+
+    /// Appends the sequence [`PhaseGenerator::new`] would produce for
+    /// `(profile, seed, stream)`.
+    pub fn push(&mut self, profile: &BenchmarkProfile, seed: u64, stream: u64) {
+        // Same SplitMix-style stream mixing as `PhaseGenerator::new`.
+        let mixed = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(stream.wrapping_mul(0xBF58476D1CE4E5B9))
+            ^ (profile.name.len() as u64).wrapping_mul(0x94D049BB133111EB);
+        let mut rng = Xoshiro256pp::seed_from_u64(mixed);
+        self.phase_offset
+            .push(rng.next_f64() * std::f64::consts::TAU);
+        self.rng.push(rng);
+        self.period.push(profile.phase_period);
+        self.variability.push(profile.variability);
+        self.level_intensity.push(Level::Nominal.intensity());
+        self.mean_dwell.push((profile.phase_period * 2.0).max(0.01));
+        self.elapsed.push(0.0);
+    }
+
+    /// Advances every sequence by `dt`, writing the governing samples into
+    /// the three scale slices (core order). Entry `i` is bit-identical to
+    /// `PhaseGenerator::advance` on generator `i`.
+    pub fn advance_into(
+        &mut self,
+        dt: Seconds,
+        cpi_scale: &mut [f64],
+        mem_scale: &mut [f64],
+        activity_scale: &mut [f64],
+    ) {
+        let n = self.rng.len();
+        assert!(
+            cpi_scale.len() == n && mem_scale.len() == n && activity_scale.len() == n,
+            "one output slot per sequence required"
+        );
+        let dt = dt.value();
+        assert!(dt >= 0.0, "time cannot run backwards");
+        for i in 0..n {
+            self.elapsed[i] += dt;
+
+            // Markov level switching: geometric dwell with mean `mean_dwell`.
+            let p_switch = (dt / self.mean_dwell[i]).min(1.0);
+            let rng = &mut self.rng[i];
+            if rng.next_f64() < p_switch {
+                self.level_intensity[i] = match rng.below(3) {
+                    0 => Level::Low.intensity(),
+                    1 => Level::Nominal.intensity(),
+                    _ => Level::High.intensity(),
+                };
+            }
+
+            // Periodic component.
+            let periodic = if self.period[i] > 0.0 {
+                (std::f64::consts::TAU * self.elapsed[i] / self.period[i] + self.phase_offset[i])
+                    .sin()
+            } else {
+                0.0
+            };
+
+            // Jitter.
+            let jitter = rng.signed_unit() * 0.15;
+
+            // Blend: periodic 50 %, Markov 35 %, jitter 15 %, scaled to the
+            // profile's variability.
+            let x =
+                (0.50 * periodic + 0.35 * self.level_intensity[i] + jitter) * self.variability[i];
+
+            cpi_scale[i] = (1.0 - 0.6 * x).max(0.2);
+            mem_scale[i] = (1.0 + x).max(0.05);
+            activity_scale[i] = (1.0 + 0.5 * x).clamp(0.2, 1.25);
+        }
+    }
+
+    /// Total simulated time sequence `i` has covered.
+    pub fn elapsed(&self, i: usize) -> Seconds {
+        Seconds::new(self.elapsed[i])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +327,46 @@ mod tests {
         let mut g = gen_for(1, 0);
         run(&mut g, 100);
         assert!((g.elapsed().ms() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_is_bit_identical_to_generators() {
+        // The SoA bank must replay every scalar generator exactly — the
+        // chip's determinism contract rides on this.
+        let profiles = parsec::all();
+        let seed = 0xC0FFEE;
+        let mut generators: Vec<PhaseGenerator> = Vec::new();
+        let mut bank = PhaseBank::new();
+        for (stream, p) in profiles.iter().cycle().take(32).enumerate() {
+            generators.push(PhaseGenerator::new(p, seed, stream as u64));
+            bank.push(p, seed, stream as u64);
+        }
+        assert_eq!(bank.len(), generators.len());
+        let mut cpi = vec![0.0; 32];
+        let mut mem = vec![0.0; 32];
+        let mut act = vec![0.0; 32];
+        for step in 0..500 {
+            let dt = Seconds::from_ms(0.5);
+            bank.advance_into(dt, &mut cpi, &mut mem, &mut act);
+            for (i, g) in generators.iter_mut().enumerate() {
+                let s = g.advance(dt);
+                assert!(
+                    s.cpi_scale.to_bits() == cpi[i].to_bits()
+                        && s.mem_scale.to_bits() == mem[i].to_bits()
+                        && s.activity_scale.to_bits() == act[i].to_bits(),
+                    "core {i} diverged at step {step}"
+                );
+                assert_eq!(g.elapsed(), bank.elapsed(i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per sequence")]
+    fn bank_rejects_short_output_slices() {
+        let mut bank = PhaseBank::new();
+        bank.push(&parsec::x264(), 1, 0);
+        bank.advance_into(Seconds::from_ms(0.5), &mut [], &mut [], &mut []);
     }
 
     #[test]

@@ -149,9 +149,9 @@ fn thermal_grid_reflects_island_throttling() {
     for _ in 0..600 {
         chip.step_pic();
     }
-    let temps = chip.temperatures();
-    let cool: f64 = (0..4).map(|c| temps[c].value()).sum::<f64>() / 4.0;
-    let hot: f64 = (4..8).map(|c| temps[c].value()).sum::<f64>() / 4.0;
+    let temps = chip.temperatures_deg();
+    let cool: f64 = temps[..4].iter().sum::<f64>() / 4.0;
+    let hot: f64 = temps[4..8].iter().sum::<f64>() / 4.0;
     assert!(
         hot > cool + 3.0,
         "full-speed half {hot} °C vs throttled half {cool} °C"

@@ -37,7 +37,36 @@ use cpm_units::{Celsius, IslandId, Ratio, Seconds, Watts};
 use cpm_workloads::{Mix, WorkloadAssignment};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a memo cache, recovering a poisoned lock. Both caches are only
+/// mutated by whole-entry inserts of already-computed values, so a
+/// probe/sweep panicking elsewhere can never leave an entry half-written;
+/// wedging every later coordinator over an already-propagated panic would
+/// turn one failed cell into a process-wide outage.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Test support: panics *while holding* each memo lock (caught here),
+/// leaving them poisoned exactly as a prober dying mid-lookup would.
+/// Subsequent probes and calibration sweeps must recover, not wedge.
+#[doc(hidden)]
+pub fn poison_memo_caches_for_tests() {
+    let cases: [fn(); 2] = [
+        || {
+            let _guard = PROBE_MEMO.get_or_init(Default::default).lock();
+            panic!("poisoning probe memo");
+        },
+        || {
+            let _guard = CALIB_SWEEP_MEMO.get_or_init(Default::default).lock();
+            panic!("poisoning calib sweep memo");
+        },
+    ];
+    for poison in cases {
+        let _ = std::panic::catch_unwind(poison);
+    }
+}
 
 // Reference-power probe memoization. The probe is a pure function of the
 // chip's construction inputs (config, workload assignment, variation map):
@@ -521,13 +550,13 @@ impl Coordinator {
     /// value and whether it came from the cache.
     fn probe_reference_power_memoized(key: &str, chip: &Chip) -> (Watts, bool) {
         let memo = PROBE_MEMO.get_or_init(Default::default);
-        if let Some(&w) = memo.lock().unwrap().get(key) {
+        if let Some(&w) = lock_recover(memo).get(key) {
             PROBE_HITS.fetch_add(1, Ordering::Relaxed);
             return (w, true);
         }
         PROBE_MISSES.fetch_add(1, Ordering::Relaxed);
         let w = Self::probe_reference_power_uncached(chip);
-        memo.lock().unwrap().insert(key.to_owned(), w);
+        lock_recover(memo).insert(key.to_owned(), w);
         (w, false)
     }
 
@@ -676,7 +705,7 @@ impl Coordinator {
         // so its chip trajectory and observation rows are a pure function
         // of the construction key. Replay a cached sweep when one exists.
         let memo = CALIB_SWEEP_MEMO.get_or_init(Default::default);
-        let cached = memo.lock().unwrap().get(&self.memo_key).cloned();
+        let cached = lock_recover(memo).get(&self.memo_key).cloned();
         if let Some(sweep) = cached {
             CALIB_SWEEP_HITS.fetch_add(1, Ordering::Relaxed);
             self.calib_sweep_hit = Some(true);
@@ -745,7 +774,7 @@ impl Coordinator {
         for pic in pics.iter_mut() {
             pic.reset();
         }
-        memo.lock().unwrap().insert(
+        lock_recover(memo).insert(
             self.memo_key.clone(),
             CalibSweep {
                 chip: self.chip.clone(),

@@ -207,9 +207,9 @@ impl MaxBips {
             for (lvl, &(p, bips)) in pred.iter().enumerate() {
                 // Round power *up* so the real total cannot exceed budget.
                 let cost = (p.value() / bin_watts).ceil() as usize;
-                // `b` indexes three tables at two offsets (dp[b-cost],
-                // next[b], pick[b]); an iterator chain would obscure that.
-                #[allow(clippy::needless_range_loop)]
+                // An iterator chain would obscure the dual indexing of
+                // dp[b-cost] against next[b]/pick[b].
+                #[allow(clippy::needless_range_loop)] // b indexes 3 tables at 2 offsets
                 for b in cost..=bins {
                     if scratch.dp[b - cost] > NEG {
                         let cand = scratch.dp[b - cost] + bips;

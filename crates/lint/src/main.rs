@@ -1,0 +1,65 @@
+//! The `cpm-lint` binary: `cargo run -p cpm-lint -- --deny`.
+//!
+//! Scans the workspace, reconciles against `lint-waivers.toml`, prints a
+//! report, and (with `--deny`) exits non-zero on any active violation or
+//! stale waiver. Without `--deny` it reports but always exits 0, which is
+//! occasionally useful while sweeping a new rule through the tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: cpm-lint [--deny] [--root <dir>] [--list-rules]\n\
+     \n\
+     --deny        exit 1 on active violations or stale waivers\n\
+     --root <dir>  workspace root to scan (default: the linter's own workspace)\n\
+     --list-rules  print the rule catalogue and exit\n"
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in cpm_lint::ALL_RULES {
+                    println!("{}", rule.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root =
+        root.unwrap_or_else(|| cpm_lint::workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR")));
+    match cpm_lint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if deny && report.is_failure() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("cpm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! `lint-waivers.toml`: the committed list of intended violations.
+//!
+//! Each waiver names one (rule, file) pair and carries a one-line reason;
+//! it suppresses every firing of that rule in that file. A waiver that
+//! suppresses nothing is *stale* and is itself an error — so the waiver
+//! file can only shrink as violations are fixed, never rot.
+//!
+//! The format is a strict subset of TOML (array-of-tables with string
+//! values), parsed by hand because the workspace builds with zero
+//! external crates:
+//!
+//! ```toml
+//! [[waiver]]
+//! rule = "panic-bare"
+//! path = "crates/rng/src/check.rs"
+//! reason = "the property harness reports failures by panicking"
+//! ```
+
+use crate::rules::RuleId;
+
+/// One committed, justified exception to the catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: RuleId,
+    /// Workspace-relative path the waiver applies to.
+    pub path: String,
+    /// The written justification (must be non-empty).
+    pub reason: String,
+}
+
+/// A parse/validation failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaiverError {
+    /// 1-based line in the waiver file (0 for end-of-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WaiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-waivers.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses and validates the waiver file. Unknown keys, unknown rules,
+/// missing fields, and empty reasons are all hard errors: a waiver that
+/// cannot be read precisely must not silently suppress anything.
+pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
+    struct Partial {
+        line: usize,
+        rule: Option<RuleId>,
+        path: Option<String>,
+        reason: Option<String>,
+    }
+    let mut out = Vec::new();
+    let mut cur: Option<Partial> = None;
+    let finish = |p: Partial| -> Result<Waiver, WaiverError> {
+        let missing = |k: &str| WaiverError {
+            line: p.line,
+            message: format!("waiver is missing `{k}`"),
+        };
+        let w = Waiver {
+            rule: p.rule.ok_or_else(|| missing("rule"))?,
+            path: p.path.ok_or_else(|| missing("path"))?,
+            reason: p.reason.ok_or_else(|| missing("reason"))?,
+        };
+        if w.reason.trim().is_empty() {
+            return Err(WaiverError {
+                line: p.line,
+                message: "waiver reason must be non-empty".to_string(),
+            });
+        }
+        Ok(w)
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(p) = cur.take() {
+                out.push(finish(p)?);
+            }
+            cur = Some(Partial {
+                line: lineno,
+                rule: None,
+                path: None,
+                reason: None,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(WaiverError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let unquoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| WaiverError {
+                line: lineno,
+                message: format!("value for `{key}` must be a double-quoted string"),
+            })?;
+        let Some(p) = cur.as_mut() else {
+            return Err(WaiverError {
+                line: lineno,
+                message: "key outside a [[waiver]] table".to_string(),
+            });
+        };
+        match key {
+            "rule" => {
+                p.rule = Some(RuleId::parse(unquoted).ok_or_else(|| WaiverError {
+                    line: lineno,
+                    message: format!("unknown rule `{unquoted}`"),
+                })?);
+            }
+            "path" => p.path = Some(unquoted.to_string()),
+            "reason" => p.reason = Some(unquoted.to_string()),
+            other => {
+                return Err(WaiverError {
+                    line: lineno,
+                    message: format!("unknown key `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(p) = cur.take() {
+        out.push(finish(p)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_valid_file() {
+        let text = r#"
+# header comment
+[[waiver]]
+rule = "panic-bare"
+path = "crates/rng/src/check.rs"
+reason = "the harness panics on purpose"
+
+[[waiver]]
+rule = "timing"
+path = "crates/sim/src/x.rs"
+reason = "why not"
+"#;
+        let ws = parse(text).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rule, RuleId::PanicBare);
+        assert_eq!(ws[1].path, "crates/sim/src/x.rs");
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_empty_reason() {
+        let bad_rule = "[[waiver]]\nrule = \"no-such-rule\"\npath = \"x\"\nreason = \"r\"\n";
+        assert!(parse(bad_rule).is_err());
+        let empty_reason = "[[waiver]]\nrule = \"timing\"\npath = \"x\"\nreason = \"  \"\n";
+        assert!(parse(empty_reason).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_keys() {
+        assert!(parse("[[waiver]]\nrule = \"timing\"\nreason = \"r\"\n").is_err());
+        assert!(parse(
+            "[[waiver]]\nrule = \"timing\"\npath = \"x\"\nreason = \"r\"\nseverity = \"low\"\n"
+        )
+        .is_err());
+        assert!(parse("rule = \"timing\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_file_is_no_waivers() {
+        assert_eq!(parse("# nothing here\n").unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,5 @@
+//! must-not-fire: the allow carries its reason on the same line.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's 8-operand table row
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) -> u64 {
+    [a, b, c, d, e, f, g, h].iter().map(|&x| x as u64).sum()
+}

@@ -1,0 +1,9 @@
+//! must-not-fire: no ambient state consulted; an identifier merely
+//! *named* env is not a read, and `env!` is a compile-time constant.
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+pub fn with_config(env: &str) -> String {
+    format!("profile-{env}")
+}

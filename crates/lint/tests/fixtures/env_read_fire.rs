@@ -1,0 +1,7 @@
+//! must-fire: an environment read in a deterministic crate.
+pub fn threads() -> usize {
+    std::env::var("CPM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

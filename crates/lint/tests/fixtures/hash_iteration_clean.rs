@@ -1,0 +1,24 @@
+//! must-not-fire: keyed lookup on a hash container is order-free and
+//! legal; iteration over a BTreeMap is ordered and legal.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn memo_lookup(memo: &mut HashMap<String, f64>, key: &str) -> f64 {
+    if let Some(&v) = memo.get(key) {
+        return v;
+    }
+    let v = key.len() as f64;
+    memo.insert(key.to_string(), v);
+    v
+}
+
+pub fn ordered_walk(m: &BTreeMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn vec_iteration_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

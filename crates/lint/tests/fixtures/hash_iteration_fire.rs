@@ -1,0 +1,24 @@
+//! must-fire: iterating hash containers leaks nondeterministic order.
+use std::collections::{HashMap, HashSet};
+
+pub struct Scores {
+    table: HashMap<String, f64>,
+}
+
+pub fn sum_by_method(m: &HashMap<u64, f64>) -> f64 {
+    m.values().sum()
+}
+
+pub fn walk_by_for(set: HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for v in &set {
+        acc += v;
+    }
+    acc
+}
+
+impl Scores {
+    pub fn names(&self) -> Vec<&String> {
+        self.table.keys().collect()
+    }
+}

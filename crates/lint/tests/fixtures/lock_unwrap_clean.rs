@@ -1,0 +1,22 @@
+//! must-not-fire: poisoned-lock recovery via `PoisonError::into_inner`
+//! keeps the cache usable after a panicking holder; unwraps in unit
+//! tests are legal.
+use std::sync::{Mutex, PoisonError};
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut g = counter.lock().unwrap_or_else(PoisonError::into_inner);
+    *g += 1;
+    *g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_increments() {
+        let c = Mutex::new(0);
+        bump(&c);
+        assert_eq!(*c.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! must-fire: unwrapping a lock in library code wedges all later
+//! callers once any holder panics.
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut g = counter.lock().unwrap();
+    *g += 1;
+    *g
+}
+
+pub fn read(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().expect("poisoned")
+}

@@ -1,0 +1,17 @@
+//! must-not-fire: writing into a caller-supplied buffer and printing
+//! from unit tests are both legal; `writeln!` is not a stdout macro.
+use std::fmt::Write as _;
+
+pub fn render(x: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "value = {x}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("render = {}", super::render(1.0));
+    }
+}

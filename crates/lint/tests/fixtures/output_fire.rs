@@ -1,0 +1,6 @@
+//! must-fire: printing from a library crate corrupts the stdout
+//! byte-identity contract.
+pub fn report(x: f64) {
+    println!("value = {x}");
+    eprintln!("debug = {x}");
+}

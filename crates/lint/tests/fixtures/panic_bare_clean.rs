@@ -1,0 +1,16 @@
+//! must-not-fire: asserts with invariant messages, Results, and panics
+//! inside unit tests are all legal.
+pub fn pick(xs: &[f64]) -> Result<f64, String> {
+    assert!(xs.len() < 1_000_000, "roster width is bounded by config");
+    xs.first().copied().ok_or_else(|| "no candidates".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn empty_roster_errors() {
+        if super::pick(&[]).is_ok() {
+            panic!("expected an error");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! must-fire: a bare panic in library code.
+pub fn pick(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        panic!("no candidates");
+    }
+    xs[0]
+}

@@ -1,0 +1,19 @@
+//! must-not-fire: tests may spawn threads to exercise concurrency, and
+//! non-spawning thread API (yield/sleep-free determinism helpers) is fine.
+pub fn work(x: u64) -> u64 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_calls_agree() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| assert_eq!(work(1), 2));
+            }
+        });
+    }
+}

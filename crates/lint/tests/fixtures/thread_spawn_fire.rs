@@ -1,0 +1,17 @@
+//! must-fire: ad-hoc thread creation outside cpm-runtime.
+use std::thread;
+
+pub fn fan_out(n: usize) {
+    let handles: Vec<_> = (0..n).map(|_| thread::spawn(|| 1 + 1)).collect();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+pub fn scoped(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    std::thread::scope(|s| {
+        s.spawn(|| acc += xs.len() as u64);
+    });
+    acc
+}

@@ -1,0 +1,9 @@
+//! must-not-fire: simulated time and Durations are deterministic; the
+//! words in comments ("Instant::now() is banned") don't count as code.
+use std::time::Duration;
+
+pub fn simulated_elapsed(steps: u64, dt: Duration) -> Duration {
+    // Instant::now() would be a violation here; multiplying a step count
+    // by a fixed dt is not.
+    dt * steps as u32
+}

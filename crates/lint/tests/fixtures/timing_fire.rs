@@ -1,0 +1,8 @@
+//! must-fire: wall-clock reads in a deterministic crate.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+//! must-not-fire: safe code; `unsafe_code` inside a forbid attribute and
+//! the word unsafe in comments/strings are not the keyword.
+#![forbid(unsafe_code)]
+
+pub fn describe() -> &'static str {
+    "this crate contains no unsafe blocks"
+}

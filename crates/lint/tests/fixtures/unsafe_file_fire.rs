@@ -1,0 +1,4 @@
+//! must-fire: `unsafe` outside the allow-listed file set.
+pub fn transmute_free(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,27 @@
+//! The workspace gate: `cargo test -p cpm-lint` (and therefore tier-1
+//! `cargo test`) fails if any rule of the invariant catalogue fires
+//! un-waived anywhere in the tree, or if a committed waiver has gone
+//! stale. Hermetic: reads only files inside the repository.
+
+#[test]
+fn workspace_is_clean_under_the_invariant_catalogue() {
+    let root = cpm_lint::workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR"));
+    let report = cpm_lint::lint_workspace(&root).expect("lint run must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root {}?",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(
+        !report.is_failure(),
+        "cpm-lint found problems:\n{}",
+        report.render()
+    );
+    // Every waiver in lint-waivers.toml is exercised (non-stale) and the
+    // file documents real, current exceptions only.
+    assert!(
+        report.waived.len() >= report.stale.len(),
+        "internal consistency"
+    );
+}

@@ -25,7 +25,7 @@
 use crate::event::{Event, EventPayload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The shared ring-buffer store behind enabled [`Recorder`] handles.
 #[derive(Debug)]
@@ -87,7 +87,12 @@ impl FlightRecorder {
             payload,
         };
         let shard = (seq % self.shards.len() as u64) as usize;
-        let mut ring = self.shards[shard].lock().unwrap();
+        // Poison recovery: a shard only ever holds fully written events,
+        // so a panicking recorder thread cannot leave it inconsistent —
+        // later recorders must keep working rather than panic in turn.
+        let mut ring = self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if ring.len() == self.shard_capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -98,7 +103,8 @@ impl FlightRecorder {
     fn drain(&self) -> Vec<Event> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.append(&mut Vec::from_iter(shard.lock().unwrap().drain(..)));
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            all.extend(ring.drain(..));
         }
         all.sort_by_key(|e| e.seq);
         all

@@ -12,7 +12,15 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poison: every mutex in the registry guards
+/// data that is only ever mutated in single complete operations (a float
+/// add, a map entry insert), so a panicking holder cannot leave it
+/// half-updated and later instruments must not be wedged.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A monotonically increasing counter.
 #[derive(Debug, Clone)]
@@ -74,7 +82,7 @@ impl Histogram {
     pub fn observe(&self, value: f64) {
         let idx = self.0.bounds.partition_point(|&b| b < value);
         self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
-        *self.0.sum.lock().unwrap() += value;
+        *lock_recover(&self.0.sum) += value;
     }
 
     /// Total observations.
@@ -88,7 +96,7 @@ impl Histogram {
 
     /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
-        *self.0.sum.lock().unwrap()
+        *lock_recover(&self.0.sum)
     }
 
     /// Per-bucket counts (finite buckets in bound order, then overflow).
@@ -155,10 +163,7 @@ impl Registry {
 
     /// Gets or creates the named counter.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner
-            .counters
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner.counters)
             .entry(name.to_string())
             .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
             .clone()
@@ -166,10 +171,7 @@ impl Registry {
 
     /// Gets or creates the named gauge (initially 0.0).
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.inner
-            .gauges
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner.gauges)
             .entry(name.to_string())
             .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
             .clone()
@@ -184,10 +186,7 @@ impl Registry {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
         );
-        self.inner
-            .histograms
-            .lock()
-            .unwrap()
+        lock_recover(&self.inner.histograms)
             .entry(name.to_string())
             .or_insert_with(|| {
                 Histogram(Arc::new(HistogramCore {
@@ -202,27 +201,15 @@ impl Registry {
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .inner
-                .counters
-                .lock()
-                .unwrap()
+            counters: lock_recover(&self.inner.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .lock()
-                .unwrap()
+            gauges: lock_recover(&self.inner.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .inner
-                .histograms
-                .lock()
-                .unwrap()
+            histograms: lock_recover(&self.inner.histograms)
                 .iter()
                 .map(|(k, v)| {
                     (

@@ -34,10 +34,19 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send>;
+
+/// Locks `m`, recovering a poisoned lock instead of propagating the
+/// panic. Every mutex here guards either a job queue or a result slot;
+/// a panicking job is already trapped by `catch_unwind` and re-raised on
+/// the collecting caller, so the guarded data is never left half-written
+/// and later callers must not be wedged by the poison flag.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Distinguishes pools so a thread's home context can't be misread by a
 /// different pool (a worker of pool A helping on pool B is a *caller*
@@ -185,7 +194,7 @@ impl PoolInner {
     }
     fn push(&self, job: Job) {
         let slot = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        self.shards[slot].lock().unwrap().push_back(job);
+        lock_recover(&self.shards[slot]).push_back(job);
         self.queued.fetch_add(1, Ordering::Release);
         self.signal.notify_one();
     }
@@ -199,13 +208,13 @@ impl PoolInner {
         }
         let n = self.shards.len();
         let own = home % n;
-        if let Some(job) = self.shards[own].lock().unwrap().pop_front() {
+        if let Some(job) = lock_recover(&self.shards[own]).pop_front() {
             self.queued.fetch_sub(1, Ordering::AcqRel);
             return Some((job, false));
         }
         for k in 1..n {
             let victim = (own + k) % n;
-            if let Some(job) = self.shards[victim].lock().unwrap().pop_back() {
+            if let Some(job) = lock_recover(&self.shards[victim]).pop_back() {
                 self.queued.fetch_sub(1, Ordering::AcqRel);
                 return Some((job, true));
             }
@@ -249,7 +258,7 @@ impl PoolInner {
                     if !self.live.load(Ordering::Acquire) {
                         return;
                     }
-                    let guard = self.gate.lock().unwrap();
+                    let guard = lock_recover(&self.gate);
                     // Re-check under the lock so a push between pop() and
                     // park cannot strand the job until the timeout.
                     if self.queued.load(Ordering::Acquire) == 0 && self.live.load(Ordering::Acquire)
@@ -257,7 +266,7 @@ impl PoolInner {
                         let _ = self
                             .signal
                             .wait_timeout(guard, Duration::from_millis(5))
-                            .unwrap();
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                 }
             }
@@ -373,7 +382,7 @@ impl Pool {
                 // thread nor strands the waiting caller; the panic is
                 // re-raised on the caller's thread at collection time.
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
-                results.lock().unwrap()[i] = Some(r);
+                lock_recover(&results)[i] = Some(r);
                 remaining.fetch_sub(1, Ordering::AcqRel);
             }));
         }
@@ -388,7 +397,7 @@ impl Pool {
                 None => std::thread::yield_now(),
             }
         }
-        let mut slots = results.lock().unwrap();
+        let mut slots = lock_recover(&results);
         slots
             .iter_mut()
             .map(|s| match s.take().expect("every job filled its slot") {
@@ -407,7 +416,7 @@ impl Pool {
         let jobs: Vec<Mutex<Option<OnceJob<R>>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         self.parallel_map((0..jobs.len()).collect::<Vec<_>>(), move |i| {
-            let job = jobs[i].lock().unwrap().take().expect("job taken once");
+            let job = lock_recover(&jobs[i]).take().expect("job taken once");
             job()
         })
     }
@@ -495,13 +504,17 @@ where
                 if i >= items.len() {
                     return;
                 }
-                *slots[i].lock().unwrap() = Some(f(&items[i]));
+                *lock_recover(&slots[i]) = Some(f(&items[i]));
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("slot filled")
+        })
         .collect()
 }
 
@@ -601,20 +614,52 @@ mod tests {
     #[test]
     fn panics_in_jobs_propagate_not_hang() {
         // A panicking cell must neither kill its worker thread nor strand
-        // the waiting caller: the panic re-raises at collection time and
-        // the pool keeps working afterwards.
+        // the waiting caller: the captured payload re-raises verbatim via
+        // `resume_unwind` at collection time (so a failing sweep cell
+        // surfaces its real message, not a generic one) and the pool
+        // keeps working afterwards.
         let pool = Pool::new(3);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.parallel_map((0..16u32).collect(), |x| {
                 if x == 7 {
-                    panic!("cell failed");
+                    panic!("cell 7 diverged: budget {} W unsatisfiable", 80);
                 }
                 x
             });
         }));
-        assert!(r.is_err());
+        let payload = r.expect_err("the cell's panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "cell 7 diverged: budget 80 W unsatisfiable",
+            "the original payload must survive propagation untouched"
+        );
         // Pool survives and still executes jobs correctly.
         assert_eq!(pool.parallel_map(vec![1u32, 2], |x| x + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_the_shard_locks() {
+        // Even after a cell panics, every queue/result mutex stays
+        // usable: the pool's lock discipline recovers poisoned locks
+        // instead of unwrapping, so later sweeps proceed normally.
+        let pool = Pool::new(2);
+        for round in 0..3 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.parallel_map((0..8u32).collect(), |x| {
+                    if x == 3 {
+                        panic!("round failure");
+                    }
+                    x * 2
+                });
+            }));
+            assert!(r.is_err(), "round {round} must propagate the panic");
+            let ok = pool.parallel_map((0..8u32).collect(), |x| x * 2);
+            assert_eq!(ok, (0..8u32).map(|x| x * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]

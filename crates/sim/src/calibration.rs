@@ -13,7 +13,7 @@ use crate::config::CacheConfig;
 use cpm_workloads::{AddressStream, BenchmarkProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Memory references per kilo-instruction assumed by the calibrator
 /// (≈ 30 % loads+stores — the standard x86 integer mix).
@@ -57,6 +57,35 @@ static SHARED_MEMO: OnceLock<Mutex<HashMap<String, Vec<MeasuredRates>>>> = OnceL
 static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Locks a memo cache, recovering a poisoned lock. The caches are only
+/// mutated by whole-entry inserts of already-computed values, so a
+/// panicking prober can never leave a key half-written; treating poison
+/// as fatal would wedge every calibration for the rest of the process
+/// over a panic that already propagated to its own caller.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Test support: panics *while holding* both memo locks (the panic is
+/// caught here), leaving them poisoned exactly as a prober dying
+/// mid-lookup would. Subsequent lookups must recover, not wedge.
+#[doc(hidden)]
+pub fn poison_memo_caches_for_tests() {
+    let cases: [fn(); 2] = [
+        || {
+            let _guard = CALIBRATE_MEMO.get_or_init(Default::default).lock();
+            panic!("poisoning calibrate memo");
+        },
+        || {
+            let _guard = SHARED_MEMO.get_or_init(Default::default).lock();
+            panic!("poisoning shared memo");
+        },
+    ];
+    for poison in cases {
+        let _ = std::panic::catch_unwind(poison);
+    }
+}
+
 /// Cumulative (hits, misses) across both calibration memo caches for this
 /// process — exported to the metrics registry by the sweep and trace
 /// drivers so artifacts show the memoization working.
@@ -86,13 +115,13 @@ fn shared_key(profiles: &[BenchmarkProfile], cache: &CacheConfig, seed: u64) -> 
 pub fn calibrate(profile: &BenchmarkProfile, cache: &CacheConfig, seed: u64) -> MeasuredRates {
     let memo = CALIBRATE_MEMO.get_or_init(Default::default);
     let key = private_key(profile, cache, seed);
-    if let Some(&rates) = memo.lock().unwrap().get(&key) {
+    if let Some(&rates) = lock_recover(memo).get(&key) {
         MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         return rates;
     }
     MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let rates = calibrate_uncached(profile, cache, seed);
-    memo.lock().unwrap().insert(key, rates);
+    lock_recover(memo).insert(key, rates);
     rates
 }
 
@@ -140,13 +169,13 @@ pub fn calibrate_shared(
 ) -> Vec<MeasuredRates> {
     let memo = SHARED_MEMO.get_or_init(Default::default);
     let key = shared_key(profiles, cache, seed);
-    if let Some(rates) = memo.lock().unwrap().get(&key) {
+    if let Some(rates) = lock_recover(memo).get(&key) {
         MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         return rates.clone();
     }
     MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let rates = calibrate_shared_uncached(profiles, cache, seed);
-    memo.lock().unwrap().insert(key, rates.clone());
+    lock_recover(memo).insert(key, rates.clone());
     rates
 }
 

@@ -111,7 +111,9 @@ impl CoreBank {
     /// matches [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended) token for token (the
     /// island-constant `avail`/`cycles`/`avail_frac` hoists are pure
     /// functions of island-constant inputs), so results are bit-identical.
-    #[allow(clippy::too_many_arguments)]
+    // A params struct would hide the token-for-token identity with the
+    // scalar path's signature.
+    #[allow(clippy::too_many_arguments)] // mirrors step_contended's params
     pub fn step_segment(
         &mut self,
         range: Range<usize>,

@@ -53,11 +53,11 @@ id_type!(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
-    fn ids_are_ordered_and_hashable() {
-        let mut m = HashMap::new();
+    fn ids_are_ordered_and_usable_as_map_keys() {
+        let mut m = BTreeMap::new();
         m.insert(IslandId(2), "i2");
         m.insert(IslandId(0), "i0");
         assert_eq!(m[&IslandId(2)], "i2");

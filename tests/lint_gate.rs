@@ -1,0 +1,24 @@
+//! Tier-1 gate for the invariant catalogue: a plain root-package
+//! `cargo test` (no `--workspace`) fails if any rule fires un-waived
+//! anywhere in the tree, or if a committed waiver has gone stale.
+//! Hermetic: reads only files inside the repository.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_invariant_catalogue() {
+    // The root package's manifest dir IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = cpm_lint::lint_workspace(root).expect("lint run must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root {}?",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(
+        !report.is_failure(),
+        "cpm-lint found problems:\n{}",
+        report.render()
+    );
+}

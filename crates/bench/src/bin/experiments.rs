@@ -6,6 +6,8 @@
 //! experiments trace <cell>    replay one cell with the flight recorder on
 //! experiments perf [--quick]  time the hot paths, write BENCH_perf.json
 //! experiments scaling [--quick]  kilocore sweep, write BENCH_scaling.json
+//! experiments scenarios [--update-goldens]  fault-injection suite vs goldens
+//! experiments check-schema <artifact> [..]  gate a BENCH_*.json's shape
 //! experiments list            list experiment ids
 //! ```
 //!
@@ -40,9 +42,26 @@
 //! latency, written to `BENCH_scaling.json` (override with
 //! `CPM_SCALING_JSON`). `--quick` shrinks the per-point time budget for
 //! the CI smoke lane.
+//!
+//! `scenarios` runs the deterministic fault-injection suite: every
+//! catalogue entry (see `cpm-scenario`) replays against its committed
+//! golden under `goldens/` (override with `CPM_GOLDEN_DIR`); trajectories
+//! land as `SCENARIO_<stem>.jsonl` and divergence reports as
+//! `DIVERGENCE_<stem>.txt` in `CPM_SCENARIO_DIR` (default `.`), with the
+//! suite summary in `BENCH_scenarios.json` (`CPM_SCENARIOS_JSON`). The
+//! command exits nonzero on any golden divergence, missing golden, or
+//! failed behavioral check; `--update-goldens` refreshes the committed
+//! fingerprints instead (use only for intended behavioral changes).
+//!
+//! `check-schema` applies the required-key artifact gates (the former CI
+//! `grep` loops) to one or more `BENCH_*.json` files, inferring the
+//! expected shape from each basename, and exits nonzero on any missing
+//! key.
 
 use cpm_bench::perf::{perf_json, run_perf};
 use cpm_bench::scaling::{run_scaling, scaling_json};
+use cpm_bench::scenario::{run_scenario_suite, scenario_stem, scenarios_json};
+use cpm_bench::schema::{check_schema, ArtifactKind};
 use cpm_bench::trace::{run_trace, TraceOptions};
 use cpm_bench::{run_all, run_experiment, sweep_json, ALL_EXPERIMENTS};
 use cpm_units::Celsius;
@@ -205,6 +224,131 @@ fn scaling_cmd(args: &[String]) {
     }
 }
 
+fn scenarios_cmd(args: &[String]) {
+    let mut update_goldens = false;
+    for a in args {
+        match a.as_str() {
+            "--update-goldens" => update_goldens = true,
+            other => {
+                eprintln!("unknown scenarios flag `{other}` (expected --update-goldens)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let golden_dir = std::env::var("CPM_GOLDEN_DIR").unwrap_or_else(|_| "goldens".to_string());
+    let out_dir = std::env::var("CPM_SCENARIO_DIR").unwrap_or_else(|_| ".".to_string());
+
+    // Load whatever goldens are committed; missing files are reported
+    // per-scenario by the suite rather than failing the whole run.
+    let mut goldens = std::collections::BTreeMap::new();
+    for scenario in cpm_scenario::CATALOGUE {
+        let path = format!("{golden_dir}/{}.golden", scenario_stem(scenario.name));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            goldens.insert(scenario.name.to_string(), text);
+        }
+    }
+
+    let suite = run_scenario_suite(goldens, update_goldens).unwrap_or_else(|e| {
+        eprintln!("[scenarios] {e}");
+        std::process::exit(1);
+    });
+
+    let mut failed = false;
+    for r in &suite.reports {
+        // Deterministic per-scenario summary on stdout (byte-identical
+        // across worker counts); timing stays on stderr.
+        let checks_ok = r.checks.iter().filter(|c| c.passed).count();
+        println!(
+            "scenario {} {} {} checks={}/{}",
+            r.name,
+            r.digest,
+            r.status.as_str(),
+            checks_ok,
+            r.checks.len()
+        );
+        for c in r.checks.iter().filter(|c| !c.passed) {
+            println!("  check FAILED {}: {}", c.name, c.detail);
+            failed = true;
+        }
+        let jsonl_path = format!("{out_dir}/SCENARIO_{}.jsonl", r.stem);
+        if let Err(e) = std::fs::write(&jsonl_path, &r.jsonl) {
+            eprintln!("[scenarios] failed to write {jsonl_path}: {e}");
+            std::process::exit(1);
+        }
+        if let Some(golden) = &r.refreshed_golden {
+            let path = format!("{golden_dir}/{}.golden", r.stem);
+            if let Err(e) = std::fs::write(&path, golden) {
+                eprintln!("[scenarios] failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[scenarios] golden refreshed: {path}");
+        }
+        if let Some(divergence) = &r.divergence {
+            let path = format!("{out_dir}/DIVERGENCE_{}.txt", r.stem);
+            if let Err(e) = std::fs::write(&path, divergence) {
+                eprintln!("[scenarios] failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[scenarios] divergence report written to {path}");
+        }
+        if r.status.is_failure() {
+            failed = true;
+        }
+    }
+    let json_path =
+        std::env::var("CPM_SCENARIOS_JSON").unwrap_or_else(|_| "BENCH_scenarios.json".to_string());
+    if let Err(e) = std::fs::write(&json_path, scenarios_json(&suite)) {
+        eprintln!("[scenarios] failed to write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[scenarios] {} scenarios on {} worker(s) in {:.2}s; artifact {json_path}",
+        suite.reports.len(),
+        suite.workers,
+        suite.total_seconds
+    );
+    if failed {
+        eprintln!("[scenarios] FAILED: golden divergence or behavioral check failure (see above)");
+        std::process::exit(1);
+    }
+}
+
+fn check_schema_cmd(args: &[String]) {
+    if args.is_empty() {
+        eprintln!("usage: experiments check-schema <artifact.json> [<artifact.json> …]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in args {
+        let Some(kind) = ArtifactKind::infer(path) else {
+            eprintln!("[check-schema] {path}: unrecognized artifact family");
+            failed = true;
+            continue;
+        };
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("[check-schema] {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let problems = check_schema(kind, &content);
+        if problems.is_empty() {
+            println!("check-schema {path} ({}) ok", kind.name());
+        } else {
+            failed = true;
+            println!("check-schema {path} ({}) FAILED", kind.name());
+            for p in &problems {
+                println!("  {p}");
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -217,11 +361,15 @@ fn main() {
             println!("  trace <policy>@<budget>");
             println!("  perf [--quick]");
             println!("  scaling [--quick]");
+            println!("  scenarios [--update-goldens]");
+            println!("  check-schema <artifact.json> …");
         }
         Some("all") => run_all_cmd(),
         Some("trace") => trace_cmd(&args[1..]),
         Some("perf") => perf_cmd(&args[1..]),
         Some("scaling") => scaling_cmd(&args[1..]),
+        Some("scenarios") => scenarios_cmd(&args[1..]),
+        Some("check-schema") => check_schema_cmd(&args[1..]),
         Some(_) => {
             for id in &args {
                 run_one(id);

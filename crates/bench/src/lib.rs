@@ -20,6 +20,8 @@ pub mod microbench;
 pub mod perf;
 pub mod report;
 pub mod scaling;
+pub mod scenario;
+pub mod schema;
 pub mod trace;
 
 use experiments as ex;

@@ -11,8 +11,10 @@ use cpm_workloads::{spec, WorkloadAssignment};
 /// produces every event type in the taxonomy plus a metrics snapshot.
 /// The variation policy supplies `PolicyHoldReversal`; a deliberately low
 /// hotspot threshold makes the die watchdog fire `ThermalViolation`.
+/// `Injection` is the one kind a fault-free trace cannot emit — it is
+/// covered by the scenario suite (`tests/scenarios.rs`) instead.
 #[test]
-fn traced_cell_emits_all_six_event_kinds_and_metrics() {
+fn traced_cell_emits_every_fault_free_event_kind_and_metrics() {
     let opts = TraceOptions {
         rounds: 30,
         hotspot_threshold: Celsius::new(55.0),
@@ -21,6 +23,9 @@ fn traced_cell_emits_all_six_event_kinds_and_metrics() {
     let artifacts = run_trace("variation@90", &opts).expect("cell runs");
     assert_eq!(artifacts.dropped, 0, "capacity must hold the whole trace");
     for kind in EventKind::ALL {
+        if kind == EventKind::Injection {
+            continue;
+        }
         assert!(
             artifacts.events.iter().any(|e| e.kind() == kind),
             "no {} event in the trace",

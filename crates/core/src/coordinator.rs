@@ -31,7 +31,7 @@ use cpm_control::PidGains;
 use cpm_obs::{EventPayload, Recorder, Registry};
 use cpm_power::variation::VariationMap;
 use cpm_power::EnergyAccount;
-use cpm_sim::{Chip, ChipSnapshot, CmpConfig, TimeSeries};
+use cpm_sim::{Chip, ChipSnapshot, CmpConfig, InjectionSeam, TimeSeries};
 use cpm_thermal::HotspotTracker;
 use cpm_units::{Celsius, IslandId, Ratio, Seconds, Watts};
 use cpm_workloads::{Mix, WorkloadAssignment};
@@ -384,6 +384,11 @@ pub struct Coordinator {
     registry: Registry,
     /// Optional die-temperature watchdog observed every PIC interval.
     hotspot: Option<HotspotTracker>,
+    /// Optional fault-injection seam (scenario harness): consulted at the
+    /// sense point before each PIC invocation, the actuate point before
+    /// each DVFS move, and once per GPM round for budget transients and
+    /// controller liveness. `None` costs one branch per step.
+    injection: Option<Box<dyn InjectionSeam + Send>>,
     /// Memo key shared by the probe and calibration-sweep caches: the exact
     /// `Debug` rendering of the chip's construction inputs.
     memo_key: String,
@@ -494,6 +499,7 @@ impl Coordinator {
             recorder: Recorder::disabled(),
             registry: Registry::new(),
             hotspot: None,
+            injection: None,
             memo_key,
             probe_cache_hit,
             calib_sweep_hit: None,
@@ -544,6 +550,24 @@ impl Coordinator {
     /// The attached die-temperature watchdog, if any.
     pub fn hotspot_tracker(&self) -> Option<&HotspotTracker> {
         self.hotspot.as_ref()
+    }
+
+    /// Attaches a fault-injection seam. During measurement the seam
+    /// filters every island's sensed `(utilization, power)` pair before
+    /// its PIC sees it, every requested DVFS move before it is applied,
+    /// and is polled each GPM round for budget transients (clamped to the
+    /// chip's idle floor) and per-island controller failure — a failed
+    /// island's PIC is skipped entirely (no sensing, control, or rezero)
+    /// and the GPM fails over around its uncontrolled draw. Calibration
+    /// and settle-in run un-faulted: scenarios perturb the measured
+    /// story, not the characterization that precedes it.
+    pub fn set_injection(&mut self, seam: Box<dyn InjectionSeam + Send>) {
+        self.injection = Some(seam);
+    }
+
+    /// Detaches the fault-injection seam, restoring un-faulted stepping.
+    pub fn clear_injection(&mut self) {
+        self.injection = None;
     }
 
     /// Memoized front end for the reference-power probe. Returns the probe
@@ -884,18 +908,55 @@ impl Coordinator {
         let mut acc_cap_util = vec![0.0f64; islands];
         let mut acc_peak_temp = vec![0.0f64; islands];
         let mut have_feedback = false;
+        // Per-round controller-liveness flags from the injection seam
+        // (all false when no seam is attached).
+        let mut island_failed = vec![false; islands];
         // One snapshot buffer for the whole measurement: the per-step hot
         // loop below performs no heap allocation.
         let mut snap = ChipSnapshot::empty();
 
         for _gpm_round in 0..n {
+            // ---- Injection: budget transients + controller liveness ----
+            let now = self.chip.time();
+            let mut round_budget = budget;
+            if let Some(seam) = &mut self.injection {
+                let scale = seam.budget_scale(now);
+                if scale != 1.0 {
+                    let mut scaled = Watts::new(budget.value() * scale);
+                    if let Manager::Cpm { gpm, .. } = &self.manager {
+                        // A transient below the idle floor is physically
+                        // unmeetable; clamp rather than panic mid-run.
+                        if scaled < gpm.floor() {
+                            scaled = gpm.floor();
+                        }
+                    }
+                    round_budget = scaled;
+                }
+                for (i, f) in island_failed.iter_mut().enumerate() {
+                    *f = seam.controller_failed(now, IslandId(i));
+                }
+                if let Manager::Cpm { gpm, .. } = &mut self.manager {
+                    if gpm.budget() != round_budget {
+                        gpm.set_budget(round_budget);
+                    }
+                    for (i, &f) in island_failed.iter().enumerate() {
+                        gpm.set_island_failed(IslandId(i), f);
+                    }
+                }
+            }
+
             // ---- Tier 1: global provisioning ----
             match &mut self.manager {
                 Manager::Cpm { gpm, pics } => {
                     if have_feedback {
                         // The coarse per-island meter read the GPM relies
-                        // on also re-zeroes each PIC's fast transducer.
+                        // on also re-zeroes each PIC's fast transducer
+                        // (skipped for islands whose controller is dead —
+                        // there is nothing alive to trim).
                         for (i, pic) in pics.iter_mut().enumerate() {
+                            if island_failed[i] {
+                                continue;
+                            }
                             let k = pics_per_gpm as f64;
                             pic.rezero(Ratio::new(acc_cap_util[i] / k), acc_power[i] / k);
                         }
@@ -953,13 +1014,20 @@ impl Coordinator {
                                     .collect(),
                             );
                         }
-                        let combo = mb.choose(budget, static_table.as_ref().unwrap());
+                        let combo = mb.choose(round_budget, static_table.as_ref().unwrap());
                         for (i, &lvl) in combo.iter().enumerate() {
+                            let lvl = match &mut self.injection {
+                                Some(seam) => {
+                                    let cur = self.chip.island_dvfs(IslandId(i));
+                                    seam.filter_actuate(now, IslandId(i), lvl, cur)
+                                }
+                                None => lvl,
+                            };
                             self.chip.set_island_dvfs(IslandId(i), lvl);
                         }
                     }
                     // Allocation bookkeeping for reporting: equal split.
-                    self.alloc = vec![budget / islands as f64; islands];
+                    self.alloc = vec![round_budget / islands as f64; islands];
                 }
                 Manager::None => {}
             }
@@ -1010,14 +1078,44 @@ impl Coordinator {
                 out.measured_time += snap.dt;
 
                 if let Manager::Cpm { pics, .. } = &mut self.manager {
-                    for (i, pic) in pics.iter_mut().enumerate() {
-                        let isl = &snap.islands[i];
-                        let idx = pic.invoke(isl.capacity_utilization, isl.power);
-                        self.chip.set_island_dvfs(IslandId(i), idx);
+                    match &mut self.injection {
+                        None => {
+                            for (i, pic) in pics.iter_mut().enumerate() {
+                                let isl = &snap.islands[i];
+                                let idx = pic.invoke(isl.capacity_utilization, isl.power);
+                                self.chip.set_island_dvfs(IslandId(i), idx);
+                            }
+                        }
+                        Some(seam) => {
+                            for (i, pic) in pics.iter_mut().enumerate() {
+                                let id = IslandId(i);
+                                if seam.controller_failed(t, id) {
+                                    continue; // dead controller: knob holds
+                                }
+                                let isl = &snap.islands[i];
+                                let (u, p) =
+                                    seam.filter_sense(t, id, isl.capacity_utilization, isl.power);
+                                let requested = pic.invoke(u, p);
+                                let current = self.chip.island_dvfs(id);
+                                let idx = seam.filter_actuate(t, id, requested, current);
+                                self.chip.set_island_dvfs(id, idx);
+                            }
+                        }
                     }
                 }
             }
             have_feedback = true;
+        }
+
+        // Leave the GPM in its nominal state: an injection-scaled budget
+        // or failover flag must not leak into a later measurement.
+        if self.injection.is_some() {
+            if let Manager::Cpm { gpm, .. } = &mut self.manager {
+                gpm.set_budget(budget);
+                for i in 0..islands {
+                    gpm.set_island_failed(IslandId(i), false);
+                }
+            }
         }
 
         if let Manager::Cpm { pics, .. } = &self.manager {

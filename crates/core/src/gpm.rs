@@ -95,6 +95,10 @@ pub struct GlobalPowerManager {
     ranges: Vec<IslandRange>,
     invocations: u64,
     recorder: Recorder,
+    /// Islands whose local controller is known dead (scenario failover):
+    /// their "allocation" is pinned to the uncontrolled power they
+    /// actually draw, and the healthy islands split what remains.
+    failed: Vec<bool>,
 }
 
 impl GlobalPowerManager {
@@ -115,12 +119,14 @@ impl GlobalPowerManager {
             budget >= floor_sum,
             "budget {budget} below the chip's idle floor {floor_sum}"
         );
+        let islands = ranges.len();
         Self {
             budget,
             policy,
             ranges,
             invocations: 0,
             recorder: Recorder::disabled(),
+            failed: vec![false; islands],
         }
     }
 
@@ -143,6 +149,27 @@ impl GlobalPowerManager {
         let floor_sum: Watts = self.ranges.iter().map(|r| r.floor).sum();
         assert!(budget >= floor_sum, "budget below idle floor");
         self.budget = budget;
+    }
+
+    /// The chip's idle floor: the least budget any allocation can meet
+    /// (every island at the bottom operating point).
+    pub fn floor(&self) -> Watts {
+        self.ranges.iter().map(|r| r.floor).sum()
+    }
+
+    /// Marks one island's local controller dead or alive. While dead, the
+    /// GPM *fails over*: the island's allocation is replaced by the
+    /// uncontrolled power it actually drew last interval (range-clamped),
+    /// that draw is charged against the budget, and only the healthy
+    /// islands participate in the over-budget shave. Clearing the flag
+    /// restores normal provisioning at the next invocation.
+    pub fn set_island_failed(&mut self, island: IslandId, failed: bool) {
+        self.failed[island.index()] = failed;
+    }
+
+    /// True when the island is currently marked failed.
+    pub fn island_failed(&self, island: IslandId) -> bool {
+        self.failed[island.index()]
     }
 
     /// The active policy's name.
@@ -178,13 +205,21 @@ impl GlobalPowerManager {
             "feedback must cover every island"
         );
         self.invocations += 1;
-        let raw = self.policy.provision(self.budget, feedback);
+        let mut raw = self.policy.provision(self.budget, feedback);
         assert_eq!(
             raw.len(),
             self.ranges.len(),
             "policy must allocate every island"
         );
-        let alloc = self.normalize(raw);
+        // Failover: a dead controller cannot enforce any allocation, so
+        // pin the island at its observed uncontrolled draw and let the
+        // shave below rebalance the healthy islands around it.
+        for (i, a) in raw.iter_mut().enumerate() {
+            if self.failed[i] {
+                *a = feedback[i].actual_power;
+            }
+        }
+        let alloc = self.normalize_pinned(raw, &self.failed);
         if self.recorder.is_enabled() {
             for (island, (a, fb)) in alloc.iter().zip(feedback).enumerate() {
                 self.recorder.record(EventPayload::GpmAllocation {
@@ -206,7 +241,16 @@ impl GlobalPowerManager {
     /// (the thermal-aware policy deliberately strands power to keep
     /// adjacent islands cool, and the demand-ceiling logic strands power
     /// no island can convert into work).
-    fn normalize(&self, mut alloc: Vec<Watts>) -> Vec<Watts> {
+    fn normalize(&self, alloc: Vec<Watts>) -> Vec<Watts> {
+        let pinned = vec![false; alloc.len()];
+        self.normalize_pinned(alloc, &pinned)
+    }
+
+    /// `normalize` with a pin mask: pinned islands are still range-
+    /// clamped (physics does not care why a controller died) but
+    /// contribute no slack to the over-budget shave — their draw is a
+    /// fact the healthy islands must provision around.
+    fn normalize_pinned(&self, mut alloc: Vec<Watts>, pinned: &[bool]) -> Vec<Watts> {
         let n = alloc.len();
         // Non-finite or negative policy outputs become the floor.
         for (a, r) in alloc.iter_mut().zip(&self.ranges) {
@@ -228,7 +272,8 @@ impl GlobalPowerManager {
             let slack: Vec<f64> = alloc
                 .iter()
                 .zip(&self.ranges)
-                .map(|(a, r)| (*a - r.floor).value())
+                .zip(pinned)
+                .map(|((a, r), &p)| if p { 0.0 } else { (*a - r.floor).value() })
                 .collect();
             let total_slack: f64 = slack.iter().sum();
             if total_slack <= 1e-12 {
@@ -376,6 +421,44 @@ mod tests {
         let mut gpm =
             GlobalPowerManager::new(Watts::new(80.0), Box::new(Fixed(vec![20.0; 4])), ranges4());
         gpm.provision(&feedback4()[..2]);
+    }
+
+    #[test]
+    fn failed_island_is_pinned_to_its_actual_draw() {
+        let mut gpm = GlobalPowerManager::new(
+            Watts::new(60.0),
+            Box::new(Fixed(vec![25.0, 25.0, 25.0, 25.0])),
+            ranges4(),
+        );
+        let mut fb = feedback4();
+        fb[1].actual_power = Watts::new(22.0); // uncontrolled draw
+        gpm.set_island_failed(IslandId(1), true);
+        assert!(gpm.island_failed(IslandId(1)));
+        let a = gpm.provision(&fb);
+        assert!(
+            (a[1].value() - 22.0).abs() < 1e-9,
+            "failed island pinned at its draw, got {}",
+            a[1]
+        );
+        let total: f64 = a.iter().map(|w| w.value()).sum();
+        assert!(total <= 60.0 + 1e-6, "budget respected: {total}");
+        // The shave lands only on the healthy islands.
+        for (i, w) in a.iter().enumerate() {
+            if i != 1 {
+                assert!(w.value() < 25.0 - 1e-9, "island {i} not shaved: {w}");
+            }
+        }
+        // Recovery restores normal provisioning.
+        gpm.set_island_failed(IslandId(1), false);
+        let b = gpm.provision(&fb);
+        let total: f64 = b.iter().map(|w| w.value()).sum();
+        assert!((total - 60.0).abs() < 1e-6, "post-recovery total {total}");
+    }
+
+    #[test]
+    fn floor_is_the_range_floor_sum() {
+        let gpm = GlobalPowerManager::new(Watts::new(80.0), Box::new(Fixed(vec![])), ranges4());
+        assert!((gpm.floor().value() - 16.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum RuleId {
     EnvRead,
     /// Thread creation outside `cpm-runtime`.
     ThreadSpawn,
+    /// RNG construction in library code outside the crates that own a
+    /// seed-derivation contract.
+    RngScope,
     /// `println!`-family macros in library crates.
     Output,
     /// `unsafe` outside the allow-listed file set.
@@ -41,11 +44,12 @@ pub enum RuleId {
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 9] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::HashIteration,
     RuleId::Timing,
     RuleId::EnvRead,
     RuleId::ThreadSpawn,
+    RuleId::RngScope,
     RuleId::Output,
     RuleId::UnsafeFile,
     RuleId::PanicBare,
@@ -61,6 +65,7 @@ impl RuleId {
             RuleId::Timing => "timing",
             RuleId::EnvRead => "env-read",
             RuleId::ThreadSpawn => "thread-spawn",
+            RuleId::RngScope => "rng-scope",
             RuleId::Output => "output",
             RuleId::UnsafeFile => "unsafe-file",
             RuleId::PanicBare => "panic-bare",
@@ -152,6 +157,13 @@ const ENV_CRATES: [&str; 3] = ["cpm-bench", "cpm-runtime", "cpm-lint"];
 /// The only crate that may create threads; everything else borrows its
 /// pool (or `scoped_map`) so the race surface stays in one audited place.
 const THREAD_CRATES: [&str; 1] = ["cpm-runtime"];
+/// Library crates that own a seed-derivation contract and may construct
+/// RNG streams: the RNG crate itself, workload synthesis (per-cell child
+/// streams), transducer noise models, and fault injection (per-effect
+/// child streams). Everywhere else, library code takes an `impl Rng` or
+/// a derived child stream from its caller — ad-hoc seeding in the middle
+/// of the stack silently decouples a component from the experiment seed.
+const RNG_CRATES: [&str; 4] = ["cpm-rng", "cpm-workloads", "cpm-control", "cpm-scenario"];
 /// Library crates exempt from the output rule: the bench harness *is*
 /// the stdout producer the byte-gates diff.
 const OUTPUT_CRATES: [&str; 1] = ["cpm-bench"];
@@ -448,6 +460,39 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok<'_>], raw_lines: &[&str]) -> Ve
                         ),
                     );
                 }
+            }
+        }
+
+        // determinism: RNG construction stays in the crates that own a
+        // seed-derivation contract. Tests may seed streams freely.
+        if ctx.role == Role::Library
+            && !RNG_CRATES.contains(&ctx.crate_name.as_str())
+            && !is_test_code(i)
+        {
+            if seq_is(toks, i, &["Xoshiro256pp", ":", ":"]) {
+                if let Some(f) = toks.get(i + 3) {
+                    if matches!(f.text, "seed_from_u64" | "child") {
+                        push(
+                            RuleId::RngScope,
+                            t.line,
+                            format!(
+                                "`Xoshiro256pp::{}` outside the RNG-owning crates; take an RNG \
+                                 (or a derived child stream) from the caller so every stream \
+                                 traces back to the experiment seed",
+                                f.text
+                            ),
+                        );
+                    }
+                }
+            }
+            if seq_is(toks, i, &["SplitMix64", ":", ":", "new"]) {
+                push(
+                    RuleId::RngScope,
+                    t.line,
+                    "`SplitMix64::new` outside the RNG-owning crates; derive streams via \
+                     `Xoshiro256pp::child` in a crate that owns seeding"
+                        .to_string(),
+                );
             }
         }
 

@@ -31,7 +31,7 @@ fn firings(name: &str, rel_path: &str, rule: RuleId) -> Vec<usize> {
 
 /// Every rule: (rule, fire fixture, clean fixture, virtual path, expected
 /// minimum firings in the fire fixture).
-const CASES: [(&str, RuleId, &str, &str, usize); 9] = [
+const CASES: [(&str, RuleId, &str, &str, usize); 10] = [
     (
         "crates/sim/src/fx.rs",
         RuleId::HashIteration,
@@ -59,6 +59,13 @@ const CASES: [(&str, RuleId, &str, &str, usize); 9] = [
         "thread_spawn_fire.rs",
         "thread_spawn_clean.rs",
         2,
+    ),
+    (
+        "crates/sim/src/fx.rs",
+        RuleId::RngScope,
+        "rng_scope_fire.rs",
+        "rng_scope_clean.rs",
+        3,
     ),
     (
         "crates/sim/src/fx.rs",
@@ -158,6 +165,33 @@ fn exempt_crates_do_not_fire_determinism_rules() {
         RuleId::ThreadSpawn
     )
     .is_empty());
+    // RNG construction is legal in the crates that own a seed-derivation
+    // contract — including the fault-injection layer's per-effect child
+    // streams (cpm-scenario).
+    assert!(firings(
+        "rng_scope_fire.rs",
+        "crates/rng/src/fx.rs",
+        RuleId::RngScope
+    )
+    .is_empty());
+    assert!(firings(
+        "rng_scope_fire.rs",
+        "crates/scenario/src/fx.rs",
+        RuleId::RngScope
+    )
+    .is_empty());
+    assert!(firings(
+        "rng_scope_fire.rs",
+        "crates/workloads/src/fx.rs",
+        RuleId::RngScope
+    )
+    .is_empty());
+    assert!(firings(
+        "rng_scope_fire.rs",
+        "crates/control/src/fx.rs",
+        RuleId::RngScope
+    )
+    .is_empty());
     // Printing is the bench harness's job, and binaries may print.
     assert!(firings("output_fire.rs", "crates/bench/src/fx.rs", RuleId::Output).is_empty());
     assert!(firings("output_fire.rs", "crates/lint/src/main.rs", RuleId::Output).is_empty());
@@ -172,7 +206,13 @@ fn exempt_crates_do_not_fire_determinism_rules() {
 
 #[test]
 fn test_role_files_skip_library_only_rules() {
-    // Integration tests may print, panic, and unwrap locks.
+    // Integration tests may print, panic, seed RNGs, and unwrap locks.
+    assert!(firings(
+        "rng_scope_fire.rs",
+        "crates/sim/tests/fx.rs",
+        RuleId::RngScope
+    )
+    .is_empty());
     assert!(firings("output_fire.rs", "crates/sim/tests/fx.rs", RuleId::Output).is_empty());
     assert!(firings(
         "panic_bare_fire.rs",

@@ -1,0 +1,20 @@
+//! must-not-fire: library code that *consumes* an RNG handed in by the
+//! caller is fine; only constructing one outside the RNG-owning crates
+//! is a violation. (Xoshiro256pp::seed_from_u64 in a comment is words,
+//! not code.)
+use cpm_rng::Xoshiro256pp;
+
+pub fn jitter(rng: &mut Xoshiro256pp) -> f64 {
+    rng.f64_in(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_seed_streams() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        assert!((0.0..1.0).contains(&jitter(&mut rng)));
+    }
+}

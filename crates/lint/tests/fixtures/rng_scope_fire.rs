@@ -1,0 +1,16 @@
+//! must-fire: ad-hoc RNG construction in a crate that does not own a
+//! seed-derivation contract.
+use cpm_rng::{SplitMix64, Xoshiro256pp};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    rng.f64_in(0.0, 1.0)
+}
+
+pub fn stream(seed: u64, index: u64) -> Xoshiro256pp {
+    Xoshiro256pp::child(seed, index)
+}
+
+pub fn mix(seed: u64) -> u64 {
+    SplitMix64::new(seed).next_u64()
+}

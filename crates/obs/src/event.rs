@@ -15,7 +15,9 @@
 //! * [`EventPayload::PolicyHoldReversal`] — the variation-aware policy
 //!   reversing its EPI search direction and entering a hold,
 //! * [`EventPayload::WorkerSpan`] — a labelled span of work attributed to
-//!   an execution context (replay phases, pool jobs).
+//!   an execution context (replay phases, pool jobs),
+//! * [`EventPayload::Injection`] — a fault-injection effect switching on
+//!   or off (scenario harness edge markers).
 //!
 //! Payloads are `Copy` (labels are `&'static str`) so recording never
 //! allocates on the hot path.
@@ -129,6 +131,21 @@ pub enum EventPayload {
         /// Span end, seconds.
         end_s: f64,
     },
+    /// A fault-injection effect crossed an activation edge (scenario
+    /// harness). Emitted once when the effect switches on and once when
+    /// it switches off, so golden trajectories anchor injections
+    /// explicitly instead of inferring them from controller behavior.
+    Injection {
+        /// Effect label, e.g. `"sensor-dropout"` or `"budget-step"`.
+        label: &'static str,
+        /// Target island (`u32::MAX` for chip-wide effects).
+        island: u32,
+        /// `true` on activation, `false` on deactivation.
+        active: bool,
+        /// Effect magnitude (noise sigma, budget scale, actuator period…;
+        /// 0 for parameter-free effects).
+        value: f64,
+    },
 }
 
 /// Discriminant-only view of a payload, for counting and golden tests.
@@ -146,17 +163,20 @@ pub enum EventKind {
     PolicyHoldReversal,
     /// [`EventPayload::WorkerSpan`].
     WorkerSpan,
+    /// [`EventPayload::Injection`].
+    Injection,
 }
 
 impl EventKind {
     /// All kinds, in taxonomy order.
-    pub const ALL: [EventKind; 6] = [
+    pub const ALL: [EventKind; 7] = [
         EventKind::GpmAllocation,
         EventKind::PicStep,
         EventKind::TransducerRezero,
         EventKind::ThermalViolation,
         EventKind::PolicyHoldReversal,
         EventKind::WorkerSpan,
+        EventKind::Injection,
     ];
 
     /// Stable identifier used in exports.
@@ -168,6 +188,7 @@ impl EventKind {
             EventKind::ThermalViolation => "ThermalViolation",
             EventKind::PolicyHoldReversal => "PolicyHoldReversal",
             EventKind::WorkerSpan => "WorkerSpan",
+            EventKind::Injection => "Injection",
         }
     }
 }
@@ -182,6 +203,7 @@ impl EventPayload {
             EventPayload::ThermalViolation { .. } => EventKind::ThermalViolation,
             EventPayload::PolicyHoldReversal { .. } => EventKind::PolicyHoldReversal,
             EventPayload::WorkerSpan { .. } => EventKind::WorkerSpan,
+            EventPayload::Injection { .. } => EventKind::Injection,
         }
     }
 }

@@ -125,6 +125,18 @@ pub fn event_to_jsonl(event: &Event) -> String {
                 num(end_s)
             );
         }
+        EventPayload::Injection {
+            label,
+            island,
+            active,
+            value,
+        } => {
+            let _ = write!(s, ", \"label\": \"{label}\"");
+            if island != u32::MAX {
+                let _ = write!(s, ", \"island\": {island}");
+            }
+            let _ = write!(s, ", \"active\": {active}, \"value\": {}", num(value));
+        }
     }
     s.push('}');
     s

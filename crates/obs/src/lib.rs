@@ -1,6 +1,6 @@
 //! `cpm-obs` — the observability substrate for the CPM stack.
 //!
-//! Three pieces, all std-only (the workspace builds with zero external
+//! Four pieces, all std-only (the workspace builds with zero external
 //! crates):
 //!
 //! * **Flight recorder** ([`Recorder`], [`FlightRecorder`]) — a
@@ -13,6 +13,9 @@
 //! * **Exporters** ([`export`]) — JSONL event traces and CSV time-series
 //!   with stable field order and fixed decimal precision, so CI can diff
 //!   artifacts byte-for-byte across worker counts.
+//! * **Digests** ([`digest`]) — FNV-1a 64 fingerprints of rendered JSONL
+//!   traces, the currency of the scenario harness's committed golden
+//!   trajectories.
 //!
 //! The intended wiring: components hold a cheaply clonable [`Recorder`]
 //! handle (disabled by default — one branch per call site) and
@@ -22,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod event;
 pub mod export;
 pub mod recorder;
 pub mod registry;
 
+pub use digest::{digest_events, digest_str, fnv1a64, format_digest, Fnv1a64};
 pub use event::{Event, EventKind, EventPayload, ThermalSource};
 pub use export::{event_to_jsonl, events_to_jsonl, write_jsonl, CsvSeries};
 pub use recorder::{FlightRecorder, Recorder};

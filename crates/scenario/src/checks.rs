@@ -1,0 +1,259 @@
+//! Coarse behavioral assertions evaluated against a scenario's
+//! [`cpm_core::Outcome`].
+//!
+//! Goldens catch *any* trajectory change; these checks state what the
+//! trajectory is supposed to *mean* — the controller still tracks after
+//! the fault clears, the budget transient actually moved the operating
+//! point, the stuck knob really froze. A golden update that silently
+//! breaks one of these is a behavioral regression even if the new digest
+//! is committed, so every scenario carries both.
+//!
+//! All thresholds are deliberately loose (whole percent points): they
+//! gate physics-level sanity, not sample-level reproduction — the digest
+//! already does that.
+
+use cpm_core::Outcome;
+use cpm_obs::{Event, EventKind, EventPayload};
+
+/// One evaluated assertion.
+#[derive(Debug, Clone)]
+pub struct ScenarioCheck {
+    /// Stable check name (reported in `BENCH_scenarios.json`).
+    pub name: &'static str,
+    /// Whether the assertion held.
+    pub passed: bool,
+    /// Measured values backing the verdict.
+    pub detail: String,
+}
+
+impl ScenarioCheck {
+    fn new(name: &'static str, passed: bool, detail: String) -> Self {
+        Self {
+            name,
+            passed,
+            detail,
+        }
+    }
+}
+
+/// Mean chip power over the last `tail` GPM rounds is within `tol_pct`
+/// percent points of the budget — the loop re-converges by the end of
+/// the story.
+pub fn tracks_at_end(outcome: &Outcome, tail: usize, tol_pct: f64) -> ScenarioCheck {
+    let series = outcome.chip_power_percent_gpm();
+    let samples = series.samples();
+    let tail = tail.min(samples.len()).max(1);
+    let mean = samples[samples.len() - tail..]
+        .iter()
+        .map(|s| s.value)
+        .sum::<f64>()
+        / tail as f64;
+    let budget = outcome.budget_percent();
+    let err = (mean - budget).abs();
+    ScenarioCheck::new(
+        "tracks-at-end",
+        err <= tol_pct,
+        format!(
+            "tail-{tail} mean {:.3}% vs budget {:.3}% (|err| {:.3} <= {:.3})",
+            mean, budget, err, tol_pct
+        ),
+    )
+}
+
+/// No GPM-resolution sample overshoots the budget by more than
+/// `max_over_frac` (fraction of budget) at any point in the run.
+pub fn overshoot_bounded(outcome: &Outcome, max_over_frac: f64) -> ScenarioCheck {
+    let budget = outcome.budget_percent();
+    let worst = outcome
+        .chip_power_percent_gpm()
+        .max_overshoot_vs(budget)
+        .unwrap_or(0.0);
+    ScenarioCheck::new(
+        "overshoot-bounded",
+        worst <= max_over_frac,
+        format!(
+            "max overshoot {:.4} of budget (limit {:.4})",
+            worst, max_over_frac
+        ),
+    )
+}
+
+/// Mean chip power over GPM rounds `[start_round, end_round)` lands
+/// within `tol_pct` percent points of `target_pct` — used to assert a
+/// budget transient actually moved the chip to the scaled level.
+pub fn window_mean_near(
+    outcome: &Outcome,
+    start_round: usize,
+    end_round: usize,
+    target_pct: f64,
+    tol_pct: f64,
+    name: &'static str,
+) -> ScenarioCheck {
+    let series = outcome.chip_power_percent_gpm();
+    let samples = series.samples();
+    let lo = start_round.min(samples.len());
+    let hi = end_round.min(samples.len());
+    if lo >= hi {
+        return ScenarioCheck::new(name, false, format!("window [{lo}, {hi}) is empty"));
+    }
+    let mean = samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64;
+    let err = (mean - target_pct).abs();
+    ScenarioCheck::new(
+        name,
+        err <= tol_pct,
+        format!(
+            "rounds {start_round}..{end_round} mean {:.3}% vs target {:.3}% \
+             (|err| {:.3} <= {:.3})",
+            mean, target_pct, err, tol_pct
+        ),
+    )
+}
+
+/// Mean chip power over GPM rounds `[start_round, end_round)` stays at
+/// or below `limit_pct` — for policies (thermal-aware) that sit *under*
+/// the budget by design, where tracking-to-target is the wrong claim.
+pub fn window_mean_below(
+    outcome: &Outcome,
+    start_round: usize,
+    end_round: usize,
+    limit_pct: f64,
+    name: &'static str,
+) -> ScenarioCheck {
+    let series = outcome.chip_power_percent_gpm();
+    let samples = series.samples();
+    let lo = start_round.min(samples.len());
+    let hi = end_round.min(samples.len());
+    if lo >= hi {
+        return ScenarioCheck::new(name, false, format!("window [{lo}, {hi}) is empty"));
+    }
+    let mean = samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64;
+    ScenarioCheck::new(
+        name,
+        mean <= limit_pct,
+        format!(
+            "rounds {start_round}..{end_round} mean {:.3}% <= limit {:.3}%",
+            mean, limit_pct
+        ),
+    )
+}
+
+/// Mean chip power inside the dip window sits at least `min_drop_pct`
+/// percent points below the reference window's mean — the transient
+/// visibly moved the operating point.
+pub fn dip_reduces_power(
+    outcome: &Outcome,
+    dip_start: usize,
+    dip_end: usize,
+    ref_start: usize,
+    ref_end: usize,
+    min_drop_pct: f64,
+) -> ScenarioCheck {
+    let series = outcome.chip_power_percent_gpm();
+    let samples = series.samples();
+    let mean_of = |lo: usize, hi: usize| -> Option<f64> {
+        let lo = lo.min(samples.len());
+        let hi = hi.min(samples.len());
+        (lo < hi).then(|| samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64)
+    };
+    match (mean_of(dip_start, dip_end), mean_of(ref_start, ref_end)) {
+        (Some(dip), Some(reference)) => {
+            let drop = reference - dip;
+            ScenarioCheck::new(
+                "dip-reduces-power",
+                drop >= min_drop_pct,
+                format!(
+                    "dip mean {:.3}% vs reference mean {:.3}% (drop {:.3} >= {:.3})",
+                    dip, reference, drop, min_drop_pct
+                ),
+            )
+        }
+        _ => ScenarioCheck::new("dip-reduces-power", false, "empty window".to_string()),
+    }
+}
+
+/// The island's DVFS knob never moves between GPM rounds
+/// `[start_round, end_round)` — a stuck actuator or dead controller
+/// really freezes the operating point.
+pub fn knob_frozen(
+    outcome: &Outcome,
+    island: usize,
+    start_round: usize,
+    end_round: usize,
+) -> ScenarioCheck {
+    let per_gpm = outcome.pics_per_gpm;
+    let series = &outcome.island_dvfs_index[island];
+    let samples = series.samples();
+    // Skip the window's first PIC interval: the fault lands mid-round
+    // relative to actuation, so the knob settles on entry.
+    let lo = (start_round * per_gpm + 1).min(samples.len());
+    let hi = (end_round * per_gpm).min(samples.len());
+    if lo >= hi {
+        return ScenarioCheck::new(
+            "knob-frozen",
+            false,
+            format!("window [{lo}, {hi}) is empty"),
+        );
+    }
+    let first = samples[lo].value;
+    let moves = samples[lo..hi].iter().filter(|s| s.value != first).count();
+    ScenarioCheck::new(
+        "knob-frozen",
+        moves == 0,
+        format!(
+            "island {island} rounds {start_round}..{end_round}: {moves} moves \
+             off index {:.0}",
+            first
+        ),
+    )
+}
+
+/// The event stream carries exactly `expected` injection-edge events
+/// with the given label — the schedule actually fired (and un-fired).
+pub fn injection_edges(events: &[Event], label: &str, expected: usize) -> ScenarioCheck {
+    let n = events
+        .iter()
+        .filter(|e| match &e.payload {
+            EventPayload::Injection { label: l, .. } => *l == label,
+            _ => false,
+        })
+        .count();
+    ScenarioCheck::new(
+        "injection-edges",
+        n == expected,
+        format!("{n} {label:?} edges recorded (expected {expected})"),
+    )
+}
+
+/// The stream contains at least one event of the kind — guards against a
+/// wiring change silently severing a recorder path.
+pub fn has_kind(events: &[Event], kind: EventKind, name: &'static str) -> ScenarioCheck {
+    let n = events.iter().filter(|e| e.kind() == kind).count();
+    ScenarioCheck::new(name, n > 0, format!("{n} {} events", kind.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_edge_counting_matches_label() {
+        let rec = cpm_obs::Recorder::enabled(16);
+        rec.record(EventPayload::Injection {
+            label: "budget-step",
+            island: u32::MAX,
+            active: true,
+            value: 0.75,
+        });
+        rec.record(EventPayload::Injection {
+            label: "budget-step",
+            island: u32::MAX,
+            active: false,
+            value: 0.75,
+        });
+        let events = rec.drain();
+        assert!(injection_edges(&events, "budget-step", 2).passed);
+        assert!(!injection_edges(&events, "sensor-noise", 2).passed);
+        assert!(has_kind(&events, EventKind::Injection, "has-injection").passed);
+        assert!(!has_kind(&events, EventKind::PicStep, "has-pic").passed);
+    }
+}

@@ -1,0 +1,460 @@
+//! Injection effects and the timed schedule that drives them.
+//!
+//! An [`Effect`] is one named fault; a [`TimedEffect`] gives it a target
+//! island (or the whole chip) and an active window in simulated seconds
+//! *relative to measurement start*. An [`InjectionSchedule`] is an
+//! ordered set of timed effects implementing
+//! [`cpm_sim::InjectionSeam`], so it plugs straight into
+//! `Coordinator::set_injection`.
+//!
+//! Windows are relative because the coordinator spends a
+//! configuration-dependent stretch of simulated time on calibration and
+//! settle-in before measurement begins. The schedule *anchors* on the
+//! first seam call it sees — which the coordinator makes at measurement
+//! start — so `start_s = 0.030` always means "30 ms into the measured
+//! story", independent of sensing mode or chip geometry.
+//!
+//! Determinism: every effect is a pure function of simulated time and
+//! its own state. The one stochastic effect (sensor noise) draws from a
+//! dedicated [`cpm_rng::Xoshiro256pp`] child stream seeded from the
+//! schedule seed and the effect's index, so adding an effect never
+//! shifts another effect's stream. The per-step seam methods never
+//! allocate — they run inside the coordinator's allocation-free
+//! measurement loop.
+
+use cpm_obs::{EventPayload, Recorder};
+use cpm_rng::Xoshiro256pp;
+use cpm_sim::InjectionSeam;
+use cpm_units::{IslandId, Ratio, Seconds, Watts};
+
+/// One named fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// Gaussian noise on the sensed capacity utilization (the PIC's fast
+    /// transducer input), clamped back into `[0, 1]`.
+    SensorNoise {
+        /// Noise standard deviation, in utilization units.
+        sigma: f64,
+    },
+    /// Transducer dropout: the controller keeps seeing the last sample
+    /// taken before the window opened.
+    SensorDropout,
+    /// The DVFS actuator stops honoring move requests; the knob holds
+    /// whatever point it was at when the window opened.
+    StuckActuator,
+    /// A slow actuator: only every `period`-th move request lands; the
+    /// rest leave the knob where it is.
+    SlowActuator {
+        /// Requests per honored move (≥ 1; 1 = healthy).
+        period: u32,
+    },
+    /// A chip-budget transient: the budget is scaled by `scale` while
+    /// the window is open (the coordinator clamps to the idle floor).
+    BudgetStep {
+        /// Budget multiplier, e.g. `0.75` for a 25 % dip.
+        scale: f64,
+    },
+    /// The island's local controller dies: no sensing, control, or
+    /// rezero while the window is open; the GPM fails over around the
+    /// island's uncontrolled draw.
+    ControllerFailure,
+}
+
+impl Effect {
+    /// Stable effect label used in `Injection` events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Effect::SensorNoise { .. } => "sensor-noise",
+            Effect::SensorDropout => "sensor-dropout",
+            Effect::StuckActuator => "stuck-actuator",
+            Effect::SlowActuator { .. } => "slow-actuator",
+            Effect::BudgetStep { .. } => "budget-step",
+            Effect::ControllerFailure => "controller-failure",
+        }
+    }
+
+    /// The magnitude recorded on the effect's activation edge.
+    fn value(&self) -> f64 {
+        match self {
+            Effect::SensorNoise { sigma } => *sigma,
+            Effect::SlowActuator { period } => *period as f64,
+            Effect::BudgetStep { scale } => *scale,
+            Effect::SensorDropout | Effect::StuckActuator | Effect::ControllerFailure => 0.0,
+        }
+    }
+}
+
+/// An [`Effect`] with a target and an active window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEffect {
+    /// Target island; `None` targets every island (and is the only
+    /// sensible choice for [`Effect::BudgetStep`], which is chip-wide).
+    pub island: Option<IslandId>,
+    /// Window start, simulated seconds relative to measurement start.
+    pub start_s: f64,
+    /// Window end (exclusive), simulated seconds relative to
+    /// measurement start.
+    pub end_s: f64,
+    /// The fault.
+    pub effect: Effect,
+}
+
+impl TimedEffect {
+    /// True when `island` is inside this effect's target set.
+    fn targets(&self, island: IslandId) -> bool {
+        self.island.map_or(true, |i| i == island)
+    }
+
+    /// The island recorded on edge events (`u32::MAX` = chip-wide).
+    fn event_island(&self) -> u32 {
+        self.island.map_or(u32::MAX, |i| i.index() as u32)
+    }
+}
+
+/// Per-effect mutable state.
+#[derive(Debug, Clone)]
+struct EffectSlot {
+    spec: TimedEffect,
+    /// Dedicated noise stream (unused by deterministic effects).
+    rng: Xoshiro256pp,
+    /// Last pre-window sense sample, for dropout holds.
+    held_sense: Option<(f64, f64)>,
+    /// Move requests seen while active, for slow actuators.
+    requests: u64,
+    /// Activation edge emitted.
+    started: bool,
+    /// Deactivation edge emitted.
+    ended: bool,
+}
+
+/// An ordered set of timed effects; implements [`InjectionSeam`].
+#[derive(Debug, Clone)]
+pub struct InjectionSchedule {
+    seed: u64,
+    slots: Vec<EffectSlot>,
+    recorder: Recorder,
+    /// Simulated time of the first seam call (= measurement start).
+    anchor: Option<f64>,
+}
+
+impl InjectionSchedule {
+    /// An empty schedule. `seed` roots the per-effect RNG child streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            slots: Vec::new(),
+            recorder: Recorder::disabled(),
+            anchor: None,
+        }
+    }
+
+    /// Adds one timed effect (builder style). Each effect gets the child
+    /// stream at its insertion index, so schedules are stable under
+    /// appends.
+    pub fn with_effect(mut self, spec: TimedEffect) -> Self {
+        let index = self.slots.len() as u64;
+        self.slots.push(EffectSlot {
+            spec,
+            rng: Xoshiro256pp::child(self.seed, index),
+            held_sense: None,
+            requests: 0,
+            started: false,
+            ended: false,
+        });
+        self
+    }
+
+    /// Attaches a flight-recorder handle; every effect then emits an
+    /// `Injection` event on its activation and deactivation edges.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Number of scheduled effects.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no effects are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Time relative to the anchor, anchoring on first use.
+    fn rel(&mut self, t: Seconds) -> f64 {
+        let anchor = *self.anchor.get_or_insert(t.value());
+        t.value() - anchor
+    }
+
+    /// Emits activation/deactivation edges crossed by `rel`.
+    fn mark_edges(&mut self, rel: f64) {
+        for slot in &mut self.slots {
+            if !slot.started && rel >= slot.spec.start_s - EDGE_EPS_S {
+                slot.started = true;
+                self.recorder.record(EventPayload::Injection {
+                    label: slot.spec.effect.label(),
+                    island: slot.spec.event_island(),
+                    active: true,
+                    value: slot.spec.effect.value(),
+                });
+            }
+            if slot.started && !slot.ended && rel >= slot.spec.end_s - EDGE_EPS_S {
+                slot.ended = true;
+                self.recorder.record(EventPayload::Injection {
+                    label: slot.spec.effect.label(),
+                    island: slot.spec.event_island(),
+                    active: false,
+                    value: slot.spec.effect.value(),
+                });
+            }
+        }
+    }
+}
+
+/// Window-edge tolerance: relative times are differences of absolute
+/// simulated timestamps, so a boundary expressed as an exact multiple of
+/// the GPM interval can land a few ULPs short of it. One nanosecond is
+/// six orders of magnitude below the PIC interval — far from any real
+/// sample — and keeps edge behavior aligned with round boundaries.
+const EDGE_EPS_S: f64 = 1e-9;
+
+/// True while `rel` is inside the spec's window.
+fn active(spec: &TimedEffect, rel: f64) -> bool {
+    rel >= spec.start_s - EDGE_EPS_S && rel < spec.end_s - EDGE_EPS_S
+}
+
+impl InjectionSeam for InjectionSchedule {
+    fn filter_sense(
+        &mut self,
+        time: Seconds,
+        island: IslandId,
+        capacity_utilization: Ratio,
+        power: Watts,
+    ) -> (Ratio, Watts) {
+        let rel = self.rel(time);
+        self.mark_edges(rel);
+        let mut u = capacity_utilization.value();
+        let mut p = power.value();
+        for slot in &mut self.slots {
+            if !slot.spec.targets(island) {
+                continue;
+            }
+            match slot.spec.effect {
+                Effect::SensorNoise { sigma } if active(&slot.spec, rel) => {
+                    u = (u + sigma * slot.rng.next_gaussian()).clamp(0.0, 1.0);
+                }
+                Effect::SensorDropout => {
+                    if active(&slot.spec, rel) {
+                        let held = *slot.held_sense.get_or_insert((u, p));
+                        u = held.0;
+                        p = held.1;
+                    } else {
+                        slot.held_sense = Some((u, p));
+                    }
+                }
+                _ => {}
+            }
+        }
+        (Ratio::new(u), Watts::new(p))
+    }
+
+    fn filter_actuate(
+        &mut self,
+        time: Seconds,
+        island: IslandId,
+        requested: usize,
+        current: usize,
+    ) -> usize {
+        let rel = self.rel(time);
+        self.mark_edges(rel);
+        let mut idx = requested;
+        for slot in &mut self.slots {
+            if !slot.spec.targets(island) || !active(&slot.spec, rel) {
+                continue;
+            }
+            match slot.spec.effect {
+                Effect::StuckActuator => idx = current,
+                Effect::SlowActuator { period } => {
+                    slot.requests += 1;
+                    if slot.requests % period.max(1) as u64 != 0 {
+                        idx = current;
+                    }
+                }
+                _ => {}
+            }
+        }
+        idx
+    }
+
+    fn controller_failed(&mut self, time: Seconds, island: IslandId) -> bool {
+        let rel = self.rel(time);
+        self.mark_edges(rel);
+        self.slots.iter().any(|slot| {
+            slot.spec.effect == Effect::ControllerFailure
+                && slot.spec.targets(island)
+                && active(&slot.spec, rel)
+        })
+    }
+
+    fn budget_scale(&mut self, time: Seconds) -> f64 {
+        let rel = self.rel(time);
+        self.mark_edges(rel);
+        let mut scale = 1.0;
+        for slot in &self.slots {
+            if let Effect::BudgetStep { scale: s } = slot.spec.effect {
+                if active(&slot.spec, rel) {
+                    scale *= s;
+                }
+            }
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_obs::EventKind;
+
+    fn chip_wide(effect: Effect, start_s: f64, end_s: f64) -> TimedEffect {
+        TimedEffect {
+            island: None,
+            start_s,
+            end_s,
+            effect,
+        }
+    }
+
+    #[test]
+    fn windows_anchor_on_first_call() {
+        // First seam call at t = 2.0 s becomes rel = 0.
+        let mut s = InjectionSchedule::new(7).with_effect(chip_wide(
+            Effect::BudgetStep { scale: 0.5 },
+            0.01,
+            0.02,
+        ));
+        assert_eq!(s.budget_scale(Seconds::new(2.0)), 1.0);
+        assert_eq!(s.budget_scale(Seconds::new(2.01)), 0.5);
+        assert_eq!(s.budget_scale(Seconds::new(2.02)), 1.0);
+    }
+
+    #[test]
+    fn stuck_actuator_holds_the_current_point() {
+        let mut s = InjectionSchedule::new(7).with_effect(TimedEffect {
+            island: Some(IslandId(1)),
+            start_s: 0.0,
+            end_s: 1.0,
+            effect: Effect::StuckActuator,
+        });
+        let t = Seconds::new(0.5);
+        assert_eq!(s.filter_actuate(Seconds::new(0.0), IslandId(1), 7, 3), 3);
+        assert_eq!(
+            s.filter_actuate(t, IslandId(0), 7, 3),
+            7,
+            "other island unaffected"
+        );
+    }
+
+    #[test]
+    fn slow_actuator_passes_every_nth_request() {
+        let mut s = InjectionSchedule::new(7).with_effect(chip_wide(
+            Effect::SlowActuator { period: 3 },
+            0.0,
+            1.0,
+        ));
+        let t = Seconds::new(0.1);
+        let moved: Vec<usize> = (0..6)
+            .map(|_| s.filter_actuate(t, IslandId(0), 9, 2))
+            .collect();
+        assert_eq!(moved, vec![2, 2, 9, 2, 2, 9]);
+    }
+
+    #[test]
+    fn dropout_holds_the_last_pre_window_sample() {
+        let mut s =
+            InjectionSchedule::new(7).with_effect(chip_wide(Effect::SensorDropout, 0.01, 0.02));
+        let isl = IslandId(0);
+        // Pre-window samples pass through and refresh the held value.
+        let (u, p) = s.filter_sense(Seconds::new(0.0), isl, Ratio::new(0.6), Watts::new(10.0));
+        assert_eq!((u.value(), p.value()), (0.6, 10.0));
+        // In-window samples are replaced by the held one.
+        let (u, p) = s.filter_sense(Seconds::new(0.015), isl, Ratio::new(0.9), Watts::new(14.0));
+        assert_eq!((u.value(), p.value()), (0.6, 10.0));
+        // Post-window samples pass through again.
+        let (u, _) = s.filter_sense(Seconds::new(0.025), isl, Ratio::new(0.8), Watts::new(12.0));
+        assert_eq!(u.value(), 0.8);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_child_stream() {
+        let run = |seed: u64| {
+            let mut s = InjectionSchedule::new(seed).with_effect(chip_wide(
+                Effect::SensorNoise { sigma: 0.05 },
+                0.0,
+                1.0,
+            ));
+            (0..8)
+                .map(|k| {
+                    s.filter_sense(
+                        Seconds::new(k as f64 * 0.001),
+                        IslandId(0),
+                        Ratio::new(0.5),
+                        Watts::new(10.0),
+                    )
+                    .0
+                    .value()
+                })
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same noise");
+        assert_ne!(run(7), run(8), "different seed, different noise");
+    }
+
+    #[test]
+    fn edges_emit_one_injection_event_each() {
+        let recorder = Recorder::enabled(64);
+        let mut s = InjectionSchedule::new(7).with_effect(chip_wide(
+            Effect::BudgetStep { scale: 0.75 },
+            0.01,
+            0.02,
+        ));
+        s.set_recorder(recorder.clone());
+        for k in 0..30 {
+            s.budget_scale(Seconds::new(k as f64 * 0.001));
+        }
+        let events = recorder.drain();
+        let edges: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind() == EventKind::Injection)
+            .collect();
+        assert_eq!(edges.len(), 2, "one on edge, one off edge");
+        match (&edges[0].payload, &edges[1].payload) {
+            (
+                EventPayload::Injection {
+                    active: a0,
+                    value: v0,
+                    ..
+                },
+                EventPayload::Injection { active: a1, .. },
+            ) => {
+                assert!(*a0 && !*a1);
+                assert_eq!(*v0, 0.75);
+            }
+            other => panic!("unexpected payloads: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_failure_is_island_scoped() {
+        let mut s = InjectionSchedule::new(7).with_effect(TimedEffect {
+            island: Some(IslandId(2)),
+            start_s: 0.0,
+            end_s: 0.5,
+            effect: Effect::ControllerFailure,
+        });
+        let t = Seconds::new(0.1);
+        assert!(s.controller_failed(t, IslandId(2)));
+        assert!(!s.controller_failed(t, IslandId(0)));
+        assert!(!s.controller_failed(Seconds::new(0.6), IslandId(2)));
+    }
+}

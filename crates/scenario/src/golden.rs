@@ -1,0 +1,378 @@
+//! Golden trajectories: committed fingerprints of a scenario's event
+//! stream, and readable reports when a run diverges from one.
+//!
+//! A [`GoldenDoc`] pins a scenario to its rendered JSONL trajectory with
+//! three levels of detail:
+//!
+//! * one whole-stream FNV-1a 64 digest (the pass/fail gate),
+//! * per-block digests over [`BLOCK_EVENTS`]-line chunks, so a diverging
+//!   run can be localized without committing the full stream,
+//! * each block's first JSONL line, a human-readable anchor naming a
+//!   concrete event near the divergence.
+//!
+//! The on-disk form is a line-oriented text file (header + one line per
+//! block) that diffs cleanly in review. [`differential_report`] turns a
+//! failed gate plus a replay into a report that first rules out
+//! nondeterminism (two runs disagreeing with *each other*) and then
+//! anchors the behavioral change at the first diverging event.
+
+use cpm_obs::digest_str;
+
+/// Events per golden block. Small enough to localize a divergence to a
+/// couple of GPM rounds, large enough that goldens stay a few dozen
+/// lines.
+pub const BLOCK_EVENTS: usize = 256;
+
+/// Magic first line of every golden file; bump the suffix on format
+/// changes.
+pub const GOLDEN_HEADER: &str = "cpm-scenario-golden v1";
+
+/// One [`BLOCK_EVENTS`]-line chunk of the trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenBlock {
+    /// FNV-1a 64 digest of the chunk's lines (newline-terminated).
+    pub digest: String,
+    /// The chunk's first JSONL line — the readable anchor.
+    pub first_line: String,
+}
+
+/// A committed golden trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenDoc {
+    /// Scenario name, e.g. `sensor-dropout@pid`.
+    pub scenario: String,
+    /// Total event (line) count of the trajectory.
+    pub events: usize,
+    /// Whole-stream digest (`fnv1a64:%016x` of the full JSONL).
+    pub digest: String,
+    /// Per-block fingerprints in stream order.
+    pub blocks: Vec<GoldenBlock>,
+}
+
+/// Where a run first left its golden trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first diverging block.
+    pub block: usize,
+    /// First event index covered by that block.
+    pub first_event: usize,
+    /// The golden's anchor line for the block (empty when the run has
+    /// extra blocks the golden lacks).
+    pub expected_first_line: String,
+    /// The run's anchor line for the block (empty when the run ended
+    /// before this block).
+    pub actual_first_line: String,
+}
+
+impl GoldenDoc {
+    /// Fingerprints a rendered JSONL trajectory.
+    pub fn from_jsonl(scenario: &str, jsonl: &str) -> Self {
+        let lines: Vec<&str> = jsonl.lines().collect();
+        let blocks = lines
+            .chunks(BLOCK_EVENTS)
+            .map(|chunk| {
+                let mut body = String::new();
+                for line in chunk {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                GoldenBlock {
+                    digest: digest_str(&body),
+                    first_line: chunk.first().map_or(String::new(), |l| l.to_string()),
+                }
+            })
+            .collect();
+        Self {
+            scenario: scenario.to_string(),
+            events: lines.len(),
+            digest: digest_str(jsonl),
+            blocks,
+        }
+    }
+
+    /// Renders the committed text form.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(GOLDEN_HEADER);
+        s.push('\n');
+        s.push_str(&format!("scenario: {}\n", self.scenario));
+        s.push_str(&format!("events: {}\n", self.events));
+        s.push_str(&format!("digest: {}\n", self.digest));
+        for (i, b) in self.blocks.iter().enumerate() {
+            s.push_str(&format!("block {} {} {}\n", i, b.digest, b.first_line));
+        }
+        s
+    }
+
+    /// Parses the committed text form.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(GOLDEN_HEADER) => {}
+            Some(other) => return Err(format!("bad golden header: {other:?}")),
+            None => return Err("empty golden file".to_string()),
+        }
+        let field = |line: Option<&str>, key: &str| -> Result<String, String> {
+            let line = line.ok_or_else(|| format!("golden truncated before {key:?}"))?;
+            line.strip_prefix(key)
+                .map(|v| v.trim().to_string())
+                .ok_or_else(|| format!("expected {key:?} line, got {line:?}"))
+        };
+        let scenario = field(lines.next(), "scenario:")?;
+        let events: usize = field(lines.next(), "events:")?
+            .parse()
+            .map_err(|e| format!("bad events count: {e}"))?;
+        let digest = field(lines.next(), "digest:")?;
+        let mut blocks = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("block ")
+                .ok_or_else(|| format!("expected block line, got {line:?}"))?;
+            let (idx, rest) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed block line: {line:?}"))?;
+            let idx: usize = idx.parse().map_err(|e| format!("bad block index: {e}"))?;
+            if idx != blocks.len() {
+                return Err(format!(
+                    "block {idx} out of order (expected {})",
+                    blocks.len()
+                ));
+            }
+            // The first line itself contains spaces, so split only once
+            // more: digest, then everything after it verbatim.
+            let (digest, first_line) = rest
+                .split_once(' ')
+                .map(|(d, f)| (d.to_string(), f.to_string()))
+                .unwrap_or_else(|| (rest.to_string(), String::new()));
+            blocks.push(GoldenBlock { digest, first_line });
+        }
+        Ok(Self {
+            scenario,
+            events,
+            digest,
+            blocks,
+        })
+    }
+
+    /// True when `other` reproduces this trajectory exactly.
+    pub fn matches(&self, other: &GoldenDoc) -> bool {
+        self.digest == other.digest && self.events == other.events
+    }
+
+    /// Locates the first diverging block against a run's fingerprint.
+    /// `None` when the trajectories match.
+    pub fn first_divergence(&self, actual: &GoldenDoc) -> Option<Divergence> {
+        let blocks = self.blocks.len().max(actual.blocks.len());
+        for i in 0..blocks {
+            let expected = self.blocks.get(i);
+            let got = actual.blocks.get(i);
+            let same = match (expected, got) {
+                (Some(e), Some(a)) => e.digest == a.digest,
+                _ => false,
+            };
+            if !same {
+                return Some(Divergence {
+                    block: i,
+                    first_event: i * BLOCK_EVENTS,
+                    expected_first_line: expected.map_or(String::new(), |b| b.first_line.clone()),
+                    actual_first_line: got.map_or(String::new(), |b| b.first_line.clone()),
+                });
+            }
+        }
+        if self.matches(actual) {
+            None
+        } else {
+            // Same blocks but different totals can only happen on a
+            // corrupt golden; surface it as a divergence at the end.
+            Some(Divergence {
+                block: blocks,
+                first_event: blocks * BLOCK_EVENTS,
+                expected_first_line: String::new(),
+                actual_first_line: String::new(),
+            })
+        }
+    }
+}
+
+/// First index (and both lines) at which two rendered trajectories
+/// disagree; `None` when byte-identical.
+pub fn first_differing_line(a: &str, b: &str) -> Option<(usize, String, String)> {
+    let mut la = a.lines();
+    let mut lb = b.lines();
+    let mut i = 0;
+    loop {
+        match (la.next(), lb.next()) {
+            (None, None) => return None,
+            (x, y) if x == y => i += 1,
+            (x, y) => {
+                return Some((
+                    i,
+                    x.unwrap_or("<stream ended>").to_string(),
+                    y.unwrap_or("<stream ended>").to_string(),
+                ))
+            }
+        }
+    }
+}
+
+/// Builds the differential-replay report for a failed golden gate.
+///
+/// `first_jsonl` is the trajectory that failed the gate; `replay_jsonl`
+/// is the same scenario re-run from scratch. Two outcomes:
+///
+/// * the runs disagree with each other → **nondeterminism** (the gate's
+///   own precondition is broken); the report names the first event where
+///   the two runs split, and no golden update can fix it;
+/// * the runs agree → a **behavioral change** relative to the committed
+///   golden; the report anchors it at the first diverging block and
+///   points at the `--update-goldens` workflow.
+pub fn differential_report(golden: &GoldenDoc, first_jsonl: &str, replay_jsonl: &str) -> String {
+    let mut r = String::new();
+    r.push_str(&format!("scenario: {}\n", golden.scenario));
+    if let Some((idx, a, b)) = first_differing_line(first_jsonl, replay_jsonl) {
+        r.push_str("verdict: NONDETERMINISM\n");
+        r.push_str(&format!(
+            "Two back-to-back runs of the same scenario disagree at event {idx}:\n"
+        ));
+        r.push_str(&format!("  run 1: {a}\n"));
+        r.push_str(&format!("  run 2: {b}\n"));
+        r.push_str(
+            "The scenario harness requires bit-identical replays; this is a \
+             determinism regression (wall-clock, unseeded RNG, or map-order \
+             leakage), not a golden staleness issue. Do NOT update the \
+             golden — find the nondeterminism.\n",
+        );
+        return r;
+    }
+    let actual = GoldenDoc::from_jsonl(&golden.scenario, first_jsonl);
+    r.push_str("verdict: BEHAVIORAL-CHANGE\n");
+    r.push_str(&format!(
+        "Replay is bit-identical to the first run (digest {}), so the run \
+         is deterministic but no longer matches the committed golden \
+         (digest {}).\n",
+        actual.digest, golden.digest
+    ));
+    match golden.first_divergence(&actual) {
+        Some(d) => {
+            r.push_str(&format!(
+                "First diverging event: #{} (block {}, {} events per block).\n",
+                d.first_event, d.block, BLOCK_EVENTS
+            ));
+            if d.expected_first_line.is_empty() {
+                r.push_str("  expected: <golden trajectory ends here>\n");
+            } else {
+                r.push_str(&format!("  expected: {}\n", d.expected_first_line));
+            }
+            if d.actual_first_line.is_empty() {
+                r.push_str("  actual:   <run trajectory ends here>\n");
+            } else {
+                r.push_str(&format!("  actual:   {}\n", d.actual_first_line));
+            }
+        }
+        None => r.push_str("First diverging event: not localized (digests differ).\n"),
+    }
+    r.push_str(&format!(
+        "event counts: golden {} vs run {}\n",
+        golden.events, actual.events
+    ));
+    r.push_str(
+        "If this change is intended, regenerate and commit the golden with \
+         `cargo run --release -p cpm-bench --bin experiments -- scenarios \
+         --update-goldens` and explain the behavioral change in the PR \
+         description.\n",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jsonl(n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            s.push_str(&format!("{{\"seq\": {i}, \"kind\": \"PicStep\"}}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let doc = GoldenDoc::from_jsonl("budget-step@thermal", &jsonl(600));
+        assert_eq!(doc.events, 600);
+        assert_eq!(doc.blocks.len(), 3);
+        let back = GoldenDoc::parse(&doc.render()).expect("parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn identical_streams_match() {
+        let a = GoldenDoc::from_jsonl("s", &jsonl(300));
+        let b = GoldenDoc::from_jsonl("s", &jsonl(300));
+        assert!(a.matches(&b));
+        assert_eq!(a.first_divergence(&b), None);
+    }
+
+    #[test]
+    fn divergence_is_localized_to_the_first_differing_block() {
+        let a = GoldenDoc::from_jsonl("s", &jsonl(600));
+        let mut text = jsonl(600);
+        // Perturb an event in the second block (index 300).
+        text = text.replace("{\"seq\": 300,", "{\"seq\": 300, \"x\": 1,");
+        let b = GoldenDoc::from_jsonl("s", &text);
+        let d = a.first_divergence(&b).expect("diverges");
+        assert_eq!(d.block, 1);
+        assert_eq!(d.first_event, 256);
+        assert!(d.expected_first_line.contains("\"seq\": 256"));
+    }
+
+    #[test]
+    fn truncated_stream_diverges_at_the_missing_block() {
+        let a = GoldenDoc::from_jsonl("s", &jsonl(600));
+        let b = GoldenDoc::from_jsonl("s", &jsonl(256));
+        let d = a.first_divergence(&b).expect("diverges");
+        // Block 0 matches (full 256 events); block 1 differs.
+        assert_eq!(d.block, 1);
+        assert!(d.actual_first_line.is_empty());
+    }
+
+    #[test]
+    fn first_differing_line_reports_index_and_both_lines() {
+        let a = "one\ntwo\nthree\n";
+        let b = "one\nTWO\nthree\n";
+        let (i, la, lb) = first_differing_line(a, b).expect("differs");
+        assert_eq!((i, la.as_str(), lb.as_str()), (1, "two", "TWO"));
+        assert_eq!(first_differing_line(a, a), None);
+    }
+
+    #[test]
+    fn nondeterminism_report_names_the_splitting_event() {
+        let golden = GoldenDoc::from_jsonl("s", &jsonl(10));
+        let r = differential_report(&golden, &jsonl(10), &jsonl(9));
+        assert!(r.contains("NONDETERMINISM"));
+        assert!(r.contains("event 9"));
+        assert!(r.contains("Do NOT update the golden"));
+    }
+
+    #[test]
+    fn behavioral_report_points_at_update_workflow() {
+        let golden = GoldenDoc::from_jsonl("s", &jsonl(10));
+        let changed = jsonl(10).replace("\"seq\": 3,", "\"seq\": 3, \"x\": 9,");
+        let r = differential_report(&golden, &changed, &changed);
+        assert!(r.contains("BEHAVIORAL-CHANGE"));
+        assert!(r.contains("--update-goldens"));
+        assert!(r.contains("block 0"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(GoldenDoc::parse("").is_err());
+        assert!(GoldenDoc::parse("not a golden\n").is_err());
+        let doc = GoldenDoc::from_jsonl("s", &jsonl(10)).render();
+        let shuffled = doc.replace("block 0", "block 7");
+        assert!(GoldenDoc::parse(&shuffled).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! Crate-level determinism smoke tests: the cheapest scenario replayed
+//! back-to-back must be bit-identical. The full catalogue × golden ×
+//! worker-count matrix lives in the root `tests/scenarios.rs` gate.
+
+use cpm_scenario::{differential_report, find, run_scenario};
+
+#[test]
+fn replaying_a_scenario_is_byte_identical() {
+    let scenario = find("sensor-dropout@pid").expect("catalogue entry");
+    let a = run_scenario(scenario).expect("first run");
+    let b = run_scenario(scenario).expect("second run");
+    assert_eq!(
+        a.jsonl, b.jsonl,
+        "trajectories must replay byte-identically"
+    );
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.golden, b.golden);
+    assert!(a.events > 0, "trajectory must not be empty");
+}
+
+#[test]
+fn behavioral_checks_hold_and_injection_edges_are_recorded() {
+    let scenario = find("budget-step@pid").expect("catalogue entry");
+    let run = run_scenario(scenario).expect("run");
+    for check in &run.checks {
+        assert!(
+            check.passed,
+            "check {} failed: {}",
+            check.name, check.detail
+        );
+    }
+    assert!(
+        run.jsonl.contains("\"kind\": \"Injection\""),
+        "trajectory must carry the injection edge events"
+    );
+}
+
+#[test]
+fn a_perturbed_replay_is_reported_as_nondeterminism() {
+    let scenario = find("sensor-dropout@pid").expect("catalogue entry");
+    let run = run_scenario(scenario).expect("run");
+    // Simulate a replay that splits from the first run at one event.
+    let perturbed = run
+        .jsonl
+        .replacen("\"kind\": \"PicStep\"", "\"kind\": \"PicStep!\"", 1);
+    let report = differential_report(&run.golden, &run.jsonl, &perturbed);
+    assert!(report.contains("NONDETERMINISM"));
+    assert!(report.contains("PicStep!"));
+}

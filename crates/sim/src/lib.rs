@@ -16,6 +16,7 @@
 //! * [`core_model`] — per-core CPI-stack execution,
 //! * [`island`] — V/F island state and actuation,
 //! * [`chip`] — the full chip: cores + islands + thermal grid + power,
+//! * [`injection`] — fault-injection seams on the sense/actuate paths,
 //! * [`stats`] — interval snapshots and time-series reduction.
 
 pub mod cache;
@@ -23,6 +24,7 @@ pub mod calibration;
 pub mod chip;
 pub mod config;
 pub mod core_model;
+pub mod injection;
 pub mod island;
 pub mod soa;
 pub mod stats;
@@ -30,6 +32,7 @@ pub mod stats;
 pub use chip::{Chip, ChipSnapshot, IslandSnapshot};
 pub use config::CmpConfig;
 pub use core_model::CoreModel;
+pub use injection::{InjectionSeam, NoInjection};
 pub use island::IslandState;
 pub use soa::{CoreBank, CoreView, IslandBank, IslandView};
 pub use stats::TimeSeries;

@@ -4,10 +4,11 @@
 //! experiments <id> [<id> …]   run the named experiments (table1 … fig19)
 //! experiments all             run everything in paper order, in parallel
 //! experiments trace <cell>    replay one cell with the flight recorder on
+//! experiments explain <cell> [--round R] [--island I]  walk the cause chain
 //! experiments perf [--quick]  time the hot paths, write BENCH_perf.json
 //! experiments scaling [--quick]  kilocore sweep, write BENCH_scaling.json
 //! experiments scenarios [--update-goldens]  fault-injection suite vs goldens
-//! experiments check-schema <artifact> [..]  gate a BENCH_*.json's shape
+//! experiments check-schema <artifact> [..]  gate a BENCH/HEALTH json shape
 //! experiments list            list experiment ids
 //! ```
 //!
@@ -21,14 +22,29 @@
 //! path with `CPM_BENCH_JSON`).
 //!
 //! `trace <cell>` replays one sweep cell — `<policy>@<budget>`, e.g.
-//! `perf@80`, `thermal@80`, `variation@90` — with the flight recorder and
-//! metrics registry enabled, and writes three artifacts next to the
-//! working directory (override the directory with `CPM_TRACE_DIR`):
-//! `TRACE_<cell>.jsonl` (the event log), `TRACE_<cell>.csv` (PIC-interval
-//! time series), and `TRACE_<cell>_metrics.json` (the registry snapshot).
-//! Timestamps are simulated time, so the artifacts are byte-identical
-//! across runs and worker counts. Flags: `--rounds N` (default 30) and
-//! `--hotspot-c T` (die-temperature watchdog threshold, default 80).
+//! `perf@80` (alias `pid@80`), `thermal@80`, `variation@90` — with the
+//! flight recorder and metrics registry enabled, and writes the artifacts
+//! next to the working directory (override the directory with
+//! `CPM_TRACE_DIR`): `TRACE_<cell>.jsonl` (the event log, SLO alarms
+//! appended), `TRACE_<cell>.csv` (PIC-interval time series),
+//! `TRACE_<cell>_metrics.json` (the registry snapshot),
+//! `TRACE_<cell>_chrome.json` (Chrome `trace_event` document — load it in
+//! Perfetto / `chrome://tracing`), and `HEALTH_<cell>.json` (the SLO
+//! watchdog's verdict). Timestamps are simulated time, so the artifacts
+//! are byte-identical across runs and worker counts; the control loop's
+//! wall-clock self-profile (sense/decide/actuate) goes to stderr only.
+//! Flags: `--rounds N` (default 30) and `--hotspot-c T` (die-temperature
+//! watchdog threshold, default 80).
+//!
+//! `explain <cell>` replays the cell like `trace` and then walks the
+//! recorded decision-provenance chain: the GPM round's budget and sensed
+//! draw, the per-island allocation it granted, every PIC decision with
+//! the inputs it saw (sensed power, utilization, target, PID terms) and
+//! the DVFS actuation it caused, with recorded span parentage verified
+//! edge by edge. `--round R` picks a GPM round (default: last), and
+//! `--island I` restricts the tree. The chain prints to stdout and lands
+//! in `EXPLAIN_<cell>.txt` plus `HEALTH_<cell>.json` (same directory
+//! rules as `trace`).
 //!
 //! `perf` runs the regression-gated performance suite: ns/op for each hot
 //! path (chip step, PID step, MaxBIPS choose, thermal step, cache access,
@@ -46,7 +62,9 @@
 //! `scenarios` runs the deterministic fault-injection suite: every
 //! catalogue entry (see `cpm-scenario`) replays against its committed
 //! golden under `goldens/` (override with `CPM_GOLDEN_DIR`); trajectories
-//! land as `SCENARIO_<stem>.jsonl` and divergence reports as
+//! land as `SCENARIO_<stem>.jsonl` (SLO alarms appended as first-class
+//! events), Chrome traces as `SCENARIO_<stem>_chrome.json`, watchdog
+//! verdicts as `HEALTH_<stem>.json`, and divergence reports as
 //! `DIVERGENCE_<stem>.txt` in `CPM_SCENARIO_DIR` (default `.`), with the
 //! suite summary in `BENCH_scenarios.json` (`CPM_SCENARIOS_JSON`). The
 //! command exits nonzero on any golden divergence, missing golden, or
@@ -54,10 +72,11 @@
 //! fingerprints instead (use only for intended behavioral changes).
 //!
 //! `check-schema` applies the required-key artifact gates (the former CI
-//! `grep` loops) to one or more `BENCH_*.json` files, inferring the
-//! expected shape from each basename, and exits nonzero on any missing
-//! key.
+//! `grep` loops) to one or more `BENCH_*.json` / `HEALTH_*.json` files,
+//! inferring the expected shape from each basename, and exits nonzero on
+//! any missing key.
 
+use cpm_bench::explain::{explain_events, ExplainOptions};
 use cpm_bench::perf::{perf_json, run_perf};
 use cpm_bench::scaling::{run_scaling, scaling_json};
 use cpm_bench::scenario::{run_scenario_suite, scenario_stem, scenarios_json};
@@ -161,6 +180,11 @@ fn trace_cmd(args: &[String]) {
         (format!("{stem}.jsonl"), &artifacts.jsonl),
         (format!("{stem}.csv"), &artifacts.csv),
         (format!("{stem}_metrics.json"), &artifacts.metrics_json),
+        (format!("{stem}_chrome.json"), &artifacts.chrome_json),
+        (
+            format!("{dir}/HEALTH_{}.json", artifacts.stem),
+            &artifacts.health_json,
+        ),
     ];
     for (path, content) in &outputs {
         if let Err(e) = std::fs::write(path, content) {
@@ -175,8 +199,77 @@ fn trace_cmd(args: &[String]) {
             artifacts.dropped
         );
     }
-    eprintln!("[trace] {} events captured", artifacts.events.len());
+    eprintln!(
+        "[trace] {} events captured, {} SLO alarms",
+        artifacts.events.len(),
+        artifacts.alarms
+    );
+    eprint!("{}", artifacts.profile_text);
     print!("{}", artifacts.metrics_text);
+    print!("{}", artifacts.health_text);
+}
+
+fn explain_cmd(args: &[String]) {
+    let Some(cell) = args.first() else {
+        eprintln!(
+            "usage: experiments explain <policy>@<budget> [--round R] [--island I] [--rounds N]"
+        );
+        std::process::exit(2);
+    };
+    let mut trace_opts = TraceOptions::default();
+    let mut opts = ExplainOptions::default();
+    let mut k = 1;
+    while k < args.len() {
+        let parse_u64 = |flag: &str, v: Option<&String>| -> u64 {
+            v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a non-negative integer");
+                std::process::exit(2);
+            })
+        };
+        match args[k].as_str() {
+            "--round" => {
+                opts.round = Some(parse_u64("--round", args.get(k + 1)));
+                k += 2;
+            }
+            "--island" => {
+                opts.island = Some(parse_u64("--island", args.get(k + 1)) as u32);
+                k += 2;
+            }
+            "--rounds" => {
+                trace_opts.rounds = parse_u64("--rounds", args.get(k + 1)) as usize;
+                k += 2;
+            }
+            other => {
+                eprintln!("unknown explain flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let artifacts = run_trace(cell, &trace_opts).unwrap_or_else(|e| {
+        eprintln!("[explain] {e}");
+        std::process::exit(2);
+    });
+    let text = explain_events(cell, &artifacts.events, opts).unwrap_or_else(|e| {
+        eprintln!("[explain] {e}");
+        std::process::exit(2);
+    });
+    let dir = std::env::var("CPM_TRACE_DIR").unwrap_or_else(|_| ".".to_string());
+    let outputs = [
+        (format!("{dir}/EXPLAIN_{}.txt", artifacts.stem), &text),
+        (
+            format!("{dir}/HEALTH_{}.json", artifacts.stem),
+            &artifacts.health_json,
+        ),
+    ];
+    for (path, content) in &outputs {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("[explain] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[explain] wrote {path}");
+    }
+    print!("{text}");
+    print!("{}", artifacts.health_text);
 }
 
 fn perf_cmd(args: &[String]) {
@@ -259,21 +352,31 @@ fn scenarios_cmd(args: &[String]) {
         // across worker counts); timing stays on stderr.
         let checks_ok = r.checks.iter().filter(|c| c.passed).count();
         println!(
-            "scenario {} {} {} checks={}/{}",
+            "scenario {} {} {} checks={}/{} alarms={}",
             r.name,
             r.digest,
             r.status.as_str(),
             checks_ok,
-            r.checks.len()
+            r.checks.len(),
+            r.alarms
         );
         for c in r.checks.iter().filter(|c| !c.passed) {
             println!("  check FAILED {}: {}", c.name, c.detail);
             failed = true;
         }
-        let jsonl_path = format!("{out_dir}/SCENARIO_{}.jsonl", r.stem);
-        if let Err(e) = std::fs::write(&jsonl_path, &r.jsonl) {
-            eprintln!("[scenarios] failed to write {jsonl_path}: {e}");
-            std::process::exit(1);
+        let per_scenario = [
+            (format!("{out_dir}/SCENARIO_{}.jsonl", r.stem), &r.jsonl),
+            (
+                format!("{out_dir}/SCENARIO_{}_chrome.json", r.stem),
+                &r.chrome_json,
+            ),
+            (format!("{out_dir}/HEALTH_{}.json", r.stem), &r.health_json),
+        ];
+        for (path, content) in &per_scenario {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("[scenarios] failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
         if let Some(golden) = &r.refreshed_golden {
             let path = format!("{golden_dir}/{}.golden", r.stem);
@@ -359,6 +462,7 @@ fn main() {
             }
             println!("  all");
             println!("  trace <policy>@<budget>");
+            println!("  explain <policy>@<budget> [--round R] [--island I]");
             println!("  perf [--quick]");
             println!("  scaling [--quick]");
             println!("  scenarios [--update-goldens]");
@@ -366,6 +470,7 @@ fn main() {
         }
         Some("all") => run_all_cmd(),
         Some("trace") => trace_cmd(&args[1..]),
+        Some("explain") => explain_cmd(&args[1..]),
         Some("perf") => perf_cmd(&args[1..]),
         Some("scaling") => scaling_cmd(&args[1..]),
         Some("scenarios") => scenarios_cmd(&args[1..]),

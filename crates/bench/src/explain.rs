@@ -1,0 +1,498 @@
+//! `experiments explain <cell>`: walk the decision-provenance chain of
+//! one traced cell and say *why* the controller did what it did.
+//!
+//! The explainer consumes nothing but the recorded event stream — the
+//! same `TRACE_*.jsonl` events the flight recorder captures — and renders
+//! the cause tree the causal spans encode:
+//!
+//! ```text
+//! GpmRound #14  (budget, sensed chip draw)
+//! ├─ GpmAllocation island 2  (draw it reacted to → share it granted)
+//! └─ island 2
+//!    ├─ PicDecision step 0  (sensed power, target, PID terms → output)
+//!    │  └─ Actuation  (knob move it caused, granted or clamped)
+//!    …
+//! ```
+//!
+//! Every edge in the tree is checked against the recorded span ids
+//! ([`cpm_obs::SpanId`]): a decision whose `parent` does not decode to
+//! the enclosing round is flagged inline rather than silently re-parented,
+//! so the output doubles as a provenance-integrity audit. Alarms the SLO
+//! watchdog raised for the selected rounds are listed with the tree.
+//!
+//! All values come from simulated time and recorded inputs, so the
+//! rendering is byte-identical across runs and worker counts.
+
+use cpm_obs::{Event, EventPayload, SpanId};
+use std::fmt::Write as _;
+
+/// What to explain: which rounds, which islands.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplainOptions {
+    /// Explain only this GPM round (default: the last recorded round).
+    pub round: Option<u64>,
+    /// Restrict the tree to one island (default: all islands).
+    pub island: Option<u32>,
+}
+
+/// Formats a raw span id the way the artifacts spell it.
+fn span_str(raw: u64) -> String {
+    match SpanId::decode(raw) {
+        Some(s) => format!("{}#{raw:016x}", s.kind().as_str()),
+        None => format!("invalid#{raw:016x}"),
+    }
+}
+
+/// The rounds present in the stream, in first-appearance order.
+fn recorded_rounds(events: &[Event]) -> Vec<u64> {
+    let mut rounds = Vec::new();
+    for e in events {
+        if let EventPayload::GpmRound { round, .. } = e.payload {
+            if !rounds.contains(&round) {
+                rounds.push(round);
+            }
+        }
+    }
+    rounds
+}
+
+/// Renders the provenance chain for one traced event stream.
+///
+/// `subject` labels the header (e.g. `pid@80`). Fails when the stream has
+/// no `GpmRound` events (nothing to walk) or the requested round is not
+/// recorded.
+pub fn explain_events(
+    subject: &str,
+    events: &[Event],
+    opts: ExplainOptions,
+) -> Result<String, String> {
+    let rounds = recorded_rounds(events);
+    if rounds.is_empty() {
+        return Err(format!(
+            "no GpmRound events recorded for {subject}: the cell ran without \
+             provenance recording (or the ring buffer dropped the whole run)"
+        ));
+    }
+    let round = match opts.round {
+        Some(r) => {
+            if !rounds.contains(&r) {
+                return Err(format!(
+                    "round {r} is not in the recorded stream (rounds {}..={})",
+                    rounds.first().unwrap(),
+                    rounds.last().unwrap()
+                ));
+            }
+            r
+        }
+        None => *rounds.last().unwrap(),
+    };
+
+    let mut s = String::with_capacity(4096);
+    let _ = writeln!(s, "== explain {subject} round {round} ==");
+    let _ = writeln!(
+        s,
+        "stream: {} events, rounds {}..={} (pick one with --round)",
+        events.len(),
+        rounds.first().unwrap(),
+        rounds.last().unwrap()
+    );
+    if let Some(i) = opts.island {
+        let _ = writeln!(s, "island filter: {i}");
+    }
+
+    // The round node itself.
+    let gpm_span = SpanId::gpm_round(round);
+    let mut islands_on_chip = 0u32;
+    for e in events {
+        if let EventPayload::GpmRound {
+            span,
+            round: r,
+            budget_w,
+            actual_w,
+            islands,
+        } = e.payload
+        {
+            if r != round {
+                continue;
+            }
+            islands_on_chip = islands;
+            let _ = writeln!(
+                s,
+                "GpmRound #{round}  t={:.6}s  span={}  budget={:.3} W  \
+                 sensed-draw={:.3} W  islands={islands}",
+                e.time_s,
+                span_str(span),
+                budget_w,
+                actual_w
+            );
+            if span != gpm_span.raw() {
+                let _ = writeln!(
+                    s,
+                    "  !! span mismatch: recorded {} but coordinates say {}",
+                    span_str(span),
+                    span_str(gpm_span.raw())
+                );
+            }
+        }
+    }
+
+    // Provisioning edges: what the GPM granted each island and the draw
+    // it was reacting to.
+    for e in events {
+        if let EventPayload::GpmAllocation {
+            round: r,
+            island,
+            allocated_w,
+            actual_w,
+            budget_w,
+        } = e.payload
+        {
+            if r != round || opts.island.is_some_and(|want| want != island) {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "├─ GpmAllocation island {island}: drew {actual_w:.3} W last \
+                 interval -> granted {allocated_w:.3} W of {budget_w:.3} W budget"
+            );
+        }
+    }
+
+    // Island subtrees: each PIC decision with the inputs it saw, and the
+    // actuation it caused.
+    let islands: Vec<u32> = match opts.island {
+        Some(i) => vec![i],
+        None => (0..islands_on_chip.max(1)).collect(),
+    };
+    for &island in &islands {
+        let decisions: Vec<&Event> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.payload,
+                    EventPayload::PicDecision { round: r, island: i, .. }
+                        if r == round && i == island
+                )
+            })
+            .collect();
+        let moves: Vec<&Event> = events
+            .iter()
+            .filter(|e| match e.payload {
+                EventPayload::Actuation {
+                    span, island: i, ..
+                } => i == island && SpanId::decode(span).is_some_and(|sp| sp.round() == round),
+                _ => false,
+            })
+            .collect();
+        if decisions.is_empty() && moves.is_empty() {
+            let _ = writeln!(
+                s,
+                "└─ island {island}: no decisions this round (controller out, \
+                 or not a per-island scheme)"
+            );
+            continue;
+        }
+        let _ = writeln!(s, "└─ island {island}");
+        for d in &decisions {
+            if let EventPayload::PicDecision {
+                span,
+                parent,
+                step,
+                sensed_w,
+                utilization,
+                target_w,
+                error,
+                p_term,
+                i_term,
+                d_term,
+                output,
+                dvfs_index,
+                saturated,
+                ..
+            } = d.payload
+            {
+                let _ = writeln!(
+                    s,
+                    "   ├─ PicDecision step {step}  t={:.6}s  span={}",
+                    d.time_s,
+                    span_str(span)
+                );
+                let _ = writeln!(
+                    s,
+                    "   │    sensed={sensed_w:.3} W  util={utilization:.3}  \
+                     target={target_w:.3} W  err={error:+.4}"
+                );
+                let _ = writeln!(
+                    s,
+                    "   │    pid: p={p_term:+.4} i={i_term:+.4} d={d_term:+.4} \
+                     -> output={output:+.4}  dvfs={dvfs_index}{}",
+                    if saturated { "  [saturated]" } else { "" }
+                );
+                if parent != gpm_span.raw() {
+                    let _ = writeln!(
+                        s,
+                        "   │    !! parent {} is not this round's {}",
+                        span_str(parent),
+                        span_str(gpm_span.raw())
+                    );
+                }
+                // The actuation this decision caused shares the (round,
+                // island, step) coordinates.
+                let act = moves.iter().find(|m| match m.payload {
+                    EventPayload::Actuation { span: a, .. } => {
+                        SpanId::decode(a).is_some_and(|sp| sp.step() == Some(step))
+                    }
+                    _ => false,
+                });
+                if let Some(m) = act {
+                    if let EventPayload::Actuation {
+                        span,
+                        parent,
+                        from_dvfs,
+                        requested_dvfs,
+                        to_dvfs,
+                        granted,
+                        ..
+                    } = m.payload
+                    {
+                        let verdict = if granted { "granted" } else { "clamped" };
+                        let _ = writeln!(
+                            s,
+                            "   │    └─ Actuation span={}  dvfs {from_dvfs} -> \
+                             {to_dvfs} (requested {requested_dvfs}, {verdict})",
+                            span_str(span)
+                        );
+                        // Actuations parent to the decision's own span in
+                        // per-island schemes, or straight to the round in
+                        // chip-level ones.
+                        let decision_span = SpanId::decode(span).and_then(|sp| {
+                            Some(SpanId::pic_decision(sp.round(), sp.island()?, sp.step()?).raw())
+                        });
+                        if decision_span != Some(parent) && parent != gpm_span.raw() {
+                            let _ = writeln!(
+                                s,
+                                "   │       !! parent {} matches neither the \
+                                 decision nor the round",
+                                span_str(parent)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Chip-level schemes (MaxBIPS) actuate without PIC decisions.
+        if decisions.is_empty() {
+            for m in &moves {
+                if let EventPayload::Actuation {
+                    span,
+                    from_dvfs,
+                    requested_dvfs,
+                    to_dvfs,
+                    granted,
+                    ..
+                } = m.payload
+                {
+                    let verdict = if granted { "granted" } else { "clamped" };
+                    let _ = writeln!(
+                        s,
+                        "   ├─ Actuation span={}  dvfs {from_dvfs} -> {to_dvfs} \
+                         (requested {requested_dvfs}, {verdict})",
+                        span_str(span)
+                    );
+                }
+            }
+        }
+    }
+
+    // Watchdog alarms attributed to the selected round.
+    let mut alarm_lines = 0;
+    for e in events {
+        if let EventPayload::Alarm {
+            monitor,
+            island,
+            round: r,
+            value,
+            threshold,
+        } = e.payload
+        {
+            if r != round {
+                continue;
+            }
+            if let Some(want) = opts.island {
+                if island != u32::MAX && island != want {
+                    continue;
+                }
+            }
+            let at = if island == u32::MAX {
+                "chip".to_string()
+            } else {
+                format!("island {island}")
+            };
+            let _ = writeln!(
+                s,
+                "!! alarm {monitor} at {at}: value {value:.4} vs threshold {threshold:.4}"
+            );
+            alarm_lines += 1;
+        }
+    }
+    if alarm_lines == 0 {
+        let _ = writeln!(s, "no watchdog alarms attributed to round {round}");
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_obs::EventPayload;
+
+    fn stream() -> Vec<Event> {
+        let g = SpanId::gpm_round(14);
+        let p = SpanId::pic_decision(14, 2, 0);
+        let a = SpanId::actuation(14, 2, 0);
+        vec![
+            Event {
+                seq: 0,
+                time_s: 0.070,
+                payload: EventPayload::GpmRound {
+                    span: g.raw(),
+                    round: 14,
+                    budget_w: 100.0,
+                    actual_w: 98.5,
+                    islands: 4,
+                },
+            },
+            Event {
+                seq: 1,
+                time_s: 0.070,
+                payload: EventPayload::GpmAllocation {
+                    round: 14,
+                    island: 2,
+                    allocated_w: 25.0,
+                    actual_w: 24.0,
+                    budget_w: 100.0,
+                },
+            },
+            Event {
+                seq: 2,
+                time_s: 0.0705,
+                payload: EventPayload::PicDecision {
+                    span: p.raw(),
+                    parent: g.raw(),
+                    round: 14,
+                    step: 0,
+                    island: 2,
+                    sensed_w: 24.0,
+                    utilization: 0.8,
+                    target_w: 25.0,
+                    error: 0.04,
+                    p_term: 0.02,
+                    i_term: 0.01,
+                    d_term: 0.0,
+                    output: 0.03,
+                    dvfs_index: 5,
+                    saturated: false,
+                },
+            },
+            Event {
+                seq: 3,
+                time_s: 0.0705,
+                payload: EventPayload::Actuation {
+                    span: a.raw(),
+                    parent: p.raw(),
+                    island: 2,
+                    from_dvfs: 4,
+                    requested_dvfs: 5,
+                    to_dvfs: 5,
+                    granted: true,
+                },
+            },
+            Event {
+                seq: 4,
+                time_s: 0.075,
+                payload: EventPayload::Alarm {
+                    monitor: "tracking-error",
+                    island: 2,
+                    round: 14,
+                    value: 0.33,
+                    threshold: 0.25,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chain_renders_from_events_alone() {
+        let text = explain_events(
+            "pid@80",
+            &stream(),
+            ExplainOptions {
+                round: Some(14),
+                island: Some(2),
+            },
+        )
+        .unwrap();
+        for needle in [
+            "== explain pid@80 round 14 ==",
+            "GpmRound #14",
+            "budget=100.000 W",
+            "GpmAllocation island 2",
+            "granted 25.000 W",
+            "PicDecision step 0",
+            "pid: p=+0.0200 i=+0.0100 d=+0.0000",
+            "Actuation span=actuation#",
+            "dvfs 4 -> 5 (requested 5, granted)",
+            "alarm tracking-error at island 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(!text.contains("!! span mismatch"), "{text}");
+        assert!(!text.contains("!! parent"), "{text}");
+    }
+
+    #[test]
+    fn default_round_is_the_last_recorded() {
+        let text = explain_events("pid@80", &stream(), ExplainOptions::default()).unwrap();
+        assert!(text.contains("round 14"), "{text}");
+    }
+
+    #[test]
+    fn unrecorded_round_is_rejected() {
+        let err = explain_events(
+            "pid@80",
+            &stream(),
+            ExplainOptions {
+                round: Some(99),
+                island: None,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("round 99"), "{err}");
+        assert!(explain_events("pid@80", &[], ExplainOptions::default()).is_err());
+    }
+
+    #[test]
+    fn broken_parent_is_flagged_not_hidden() {
+        let mut events = stream();
+        if let EventPayload::PicDecision { parent, .. } = &mut events[2].payload {
+            *parent = SpanId::gpm_round(13).raw();
+        }
+        let text = explain_events(
+            "pid@80",
+            &events,
+            ExplainOptions {
+                round: Some(14),
+                island: Some(2),
+            },
+        )
+        .unwrap();
+        assert!(text.contains("!! parent"), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = explain_events("pid@80", &stream(), ExplainOptions::default()).unwrap();
+        let b = explain_events("pid@80", &stream(), ExplainOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

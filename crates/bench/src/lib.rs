@@ -16,8 +16,10 @@
 //! recorded paper-vs-measured results.
 
 pub mod experiments;
+pub mod explain;
 pub mod microbench;
 pub mod perf;
+pub mod profile;
 pub mod report;
 pub mod scaling;
 pub mod scenario;

@@ -1,0 +1,178 @@
+//! Wall-clock self-profiling of the control loop's phases.
+//!
+//! [`cpm_obs::PhaseProfiler`] is the clock-free seam the coordinator
+//! exposes; this module supplies the one implementation that actually
+//! reads a clock. The split is deliberate: recorded events and every
+//! byte-diffed artifact carry only simulated time, so the `Instant`
+//! calls live here in `cpm-bench` (the timing lint confines wall-clock
+//! reads to the bench and runtime crates) and the measurements are
+//! published through a [`cpm_obs::Registry`] — whose snapshot goes to
+//! stderr and schema-checked artifacts, never into the determinism gate.
+//!
+//! Per phase (`sense`, `decide`, `actuate`) the profiler maintains
+//! `profile.<phase>.seconds` (gauge: cumulative wall-clock) and
+//! `profile.<phase>.calls` (counter), so a trace replay can report where
+//! the controller's own time goes alongside the simulated trajectory.
+
+use cpm_obs::{ControlPhase, PhaseProfiler, Registry};
+use std::time::Instant;
+
+/// All phases, in pipeline order.
+const PHASES: [ControlPhase; 3] = [
+    ControlPhase::Sense,
+    ControlPhase::Decide,
+    ControlPhase::Actuate,
+];
+
+fn idx(phase: ControlPhase) -> usize {
+    match phase {
+        ControlPhase::Sense => 0,
+        ControlPhase::Decide => 1,
+        ControlPhase::Actuate => 2,
+    }
+}
+
+/// [`PhaseProfiler`] backed by [`Instant`], publishing to a registry.
+#[derive(Debug)]
+pub struct WallClockProfiler {
+    registry: Registry,
+    started: [Option<Instant>; 3],
+    totals_s: [f64; 3],
+    calls: [u64; 3],
+}
+
+impl WallClockProfiler {
+    /// A profiler publishing to `registry` (keep a clone to read the
+    /// totals after the coordinator consumes the profiler).
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            registry,
+            started: [None; 3],
+            totals_s: [0.0; 3],
+            calls: [0; 3],
+        }
+    }
+
+    /// Cumulative wall-clock seconds spent in `phase` so far.
+    pub fn seconds(&self, phase: ControlPhase) -> f64 {
+        self.totals_s[idx(phase)]
+    }
+
+    /// Completed enter/exit pairs observed for `phase`.
+    pub fn calls(&self, phase: ControlPhase) -> u64 {
+        self.calls[idx(phase)]
+    }
+}
+
+impl PhaseProfiler for WallClockProfiler {
+    fn enter(&mut self, phase: ControlPhase) {
+        self.started[idx(phase)] = Some(Instant::now());
+    }
+
+    fn exit(&mut self, phase: ControlPhase) {
+        let i = idx(phase);
+        // An exit without a matching enter is ignored rather than
+        // invented: the totals only ever contain measured intervals.
+        if let Some(t0) = self.started[i].take() {
+            self.totals_s[i] += t0.elapsed().as_secs_f64();
+            self.calls[i] += 1;
+            self.registry
+                .gauge(&format!("profile.{}.seconds", phase.as_str()))
+                .set(self.totals_s[i]);
+            self.registry
+                .counter(&format!("profile.{}.calls", phase.as_str()))
+                .add(1);
+        }
+    }
+}
+
+/// One-line-per-phase summary off a registry snapshot (stderr material).
+pub fn profile_summary(registry: &Registry) -> String {
+    let snap = registry.snapshot();
+    let mut s = String::new();
+    for phase in PHASES {
+        let name = phase.as_str();
+        let seconds = snap
+            .gauges
+            .get(&format!("profile.{name}.seconds"))
+            .copied()
+            .unwrap_or(0.0);
+        let calls = snap
+            .counters
+            .get(&format!("profile.{name}.calls"))
+            .copied()
+            .unwrap_or(0);
+        let mean_us = if calls > 0 {
+            seconds / calls as f64 * 1e6
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "profile {name:<7} {seconds:10.6}s over {calls:6} calls ({mean_us:8.2} us/call)\n"
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_publish() {
+        let registry = Registry::new();
+        let mut p = WallClockProfiler::new(registry.clone());
+        for _ in 0..3 {
+            p.enter(ControlPhase::Sense);
+            p.exit(ControlPhase::Sense);
+        }
+        p.enter(ControlPhase::Decide);
+        p.exit(ControlPhase::Decide);
+        assert_eq!(p.calls(ControlPhase::Sense), 3);
+        assert_eq!(p.calls(ControlPhase::Decide), 1);
+        assert_eq!(p.calls(ControlPhase::Actuate), 0);
+        assert!(p.seconds(ControlPhase::Sense) >= 0.0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("profile.sense.calls"), Some(&3));
+        assert!(snap.gauges.contains_key("profile.sense.seconds"));
+        let summary = profile_summary(&registry);
+        assert!(summary.contains("profile sense"), "{summary}");
+        assert!(summary.contains("profile actuate"), "{summary}");
+    }
+
+    #[test]
+    fn unmatched_exit_is_ignored() {
+        let registry = Registry::new();
+        let mut p = WallClockProfiler::new(registry.clone());
+        p.exit(ControlPhase::Actuate);
+        assert_eq!(p.calls(ControlPhase::Actuate), 0);
+        assert!(!registry
+            .snapshot()
+            .counters
+            .contains_key("profile.actuate.calls"));
+    }
+
+    #[test]
+    fn profiler_threads_through_the_coordinator_seam() {
+        // End-to-end: the coordinator drives enter/exit around its
+        // sense/decide/actuate phases for every control step.
+        let registry = Registry::new();
+        let mut coord = cpm_core::coordinator::Coordinator::new(
+            cpm_core::coordinator::ExperimentConfig::paper_default(),
+        )
+        .unwrap();
+        coord.set_profiler(Box::new(WallClockProfiler::new(registry.clone())));
+        coord.run_for_gpm_intervals(2);
+        let snap = registry.snapshot();
+        let pics = 10; // pics_per_gpm
+        assert_eq!(
+            snap.counters.get("profile.sense.calls").copied(),
+            Some(2 * pics)
+        );
+        assert_eq!(
+            snap.counters.get("profile.actuate.calls").copied(),
+            Some(2 * pics)
+        );
+        assert_eq!(snap.counters.get("profile.decide.calls").copied(), Some(2));
+    }
+}

@@ -67,8 +67,14 @@ pub struct ScenarioReport {
     pub checks: Vec<ScenarioCheck>,
     /// Event count of the trajectory.
     pub events: usize,
+    /// SLO alarms the watchdog raised (alarm events ride the trajectory).
+    pub alarms: usize,
     /// The rendered trajectory (written as `SCENARIO_<stem>.jsonl`).
     pub jsonl: String,
+    /// Watchdog health report (written as `HEALTH_<stem>.json`).
+    pub health_json: String,
+    /// Chrome `trace_event` document (written as `SCENARIO_<stem>_chrome.json`).
+    pub chrome_json: String,
     /// Golden text to write when the status is [`ScenarioStatus::Updated`].
     pub refreshed_golden: Option<String>,
     /// Differential-replay report for diverged scenarios.
@@ -168,7 +174,10 @@ fn run_cell(
         status: ScenarioStatus::Missing,
         checks: run.checks.clone(),
         events: run.events,
+        alarms: run.alarms,
         jsonl: run.jsonl.clone(),
+        health_json: run.health_json.clone(),
+        chrome_json: run.chrome_json.clone(),
         refreshed_golden: None,
         divergence: None,
     };
@@ -262,8 +271,10 @@ pub fn scenarios_json(suite: &ScenarioSuite) -> String {
         .iter()
         .map(|r| r.checks.iter().filter(|c| !c.passed).count())
         .sum::<usize>();
+    let alarms_total = suite.reports.iter().map(|r| r.alarms).sum::<usize>();
     s.push_str(&format!("  \"diverged\": {diverged},\n"));
     s.push_str(&format!("  \"checks_failed\": {checks_failed},\n"));
+    s.push_str(&format!("  \"alarms_total\": {alarms_total},\n"));
     s.push_str("  \"scenarios\": [\n");
     for (k, r) in suite.reports.iter().enumerate() {
         let sep = if k + 1 < suite.reports.len() { "," } else { "" };
@@ -272,11 +283,12 @@ pub fn scenarios_json(suite: &ScenarioSuite) -> String {
             .as_ref()
             .map_or("null".to_string(), |d| format!("\"{}\"", esc(d)));
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"stem\": \"{}\", \"events\": {}, \"digest\": \"{}\", \
-             \"golden_digest\": {golden}, \"status\": \"{}\", \"checks\": [",
+            "    {{\"name\": \"{}\", \"stem\": \"{}\", \"events\": {}, \"alarms\": {}, \
+             \"digest\": \"{}\", \"golden_digest\": {golden}, \"status\": \"{}\", \"checks\": [",
             esc(r.name),
             esc(&r.stem),
             r.events,
+            r.alarms,
             esc(&r.digest),
             r.status.as_str()
         ));
@@ -312,7 +324,10 @@ mod tests {
                 detail: "said \"ok\"".to_string(),
             }],
             events: 42,
+            alarms: 3,
             jsonl: String::new(),
+            health_json: String::new(),
+            chrome_json: String::new(),
             refreshed_golden: None,
             divergence: None,
         }
@@ -343,6 +358,8 @@ mod tests {
             "\"golden_digest\": \"fnv1a64:00000000000000bb\"",
             "\"status\": \"diverged\"",
             "\"checks\": [",
+            "\"alarms\": 3",
+            "\"alarms_total\": 6",
             "\"diverged\": 1",
             "\"detail\": \"said \\\"ok\\\"\"",
         ] {

@@ -21,6 +21,8 @@ pub enum ArtifactKind {
     Scaling,
     /// `BENCH_scenarios.json` — the fault-injection scenario suite.
     Scenarios,
+    /// `HEALTH_*.json` — the SLO watchdog's health report.
+    Health,
 }
 
 impl ArtifactKind {
@@ -31,6 +33,7 @@ impl ArtifactKind {
             ArtifactKind::Perf => "perf",
             ArtifactKind::Scaling => "scaling",
             ArtifactKind::Scenarios => "scenarios",
+            ArtifactKind::Health => "health",
         }
     }
 
@@ -43,8 +46,12 @@ impl ArtifactKind {
             .unwrap_or(path)
             .to_ascii_lowercase();
         // Order matters: "scenarios" and "scaling" both contain "s",
-        // but only specific substrings decide.
-        if base.contains("scenario") {
+        // but only specific substrings decide. Health is checked first:
+        // `HEALTH_<scenario stem>.json` basenames may embed a scenario
+        // name, and the HEALTH_ prefix wins.
+        if base.contains("health") {
+            Some(ArtifactKind::Health)
+        } else if base.contains("scenario") {
             Some(ArtifactKind::Scenarios)
         } else if base.contains("perf") {
             Some(ArtifactKind::Perf)
@@ -108,6 +115,22 @@ impl ArtifactKind {
                 "\"status\"",
                 "\"checks\"",
                 "\"diverged\"",
+                "\"alarms_total\"",
+            ],
+            ArtifactKind::Health => &[
+                "\"schema\": \"cpm-health-v1\"",
+                "\"subject\"",
+                "\"events\"",
+                "\"rounds\"",
+                "\"alarms_total\"",
+                "\"verdict\"",
+                "\"monitors\"",
+                "\"monitor\": \"tracking-error\"",
+                "\"monitor\": \"budget-overshoot\"",
+                "\"monitor\": \"actuator-churn\"",
+                "\"monitor\": \"stale-sensor\"",
+                "\"worst_value\"",
+                "\"threshold\"",
             ],
         }
     }
@@ -163,6 +186,14 @@ mod tests {
         assert_eq!(
             ArtifactKind::infer("bench_w1.json"),
             Some(ArtifactKind::Experiments)
+        );
+        assert_eq!(
+            ArtifactKind::infer("HEALTH_baseline_pid.json"),
+            Some(ArtifactKind::Health)
+        );
+        assert_eq!(
+            ArtifactKind::infer("/tmp/HEALTH_perf_80.json"),
+            Some(ArtifactKind::Health)
         );
         assert_eq!(ArtifactKind::infer("random.json"), None);
     }

@@ -16,7 +16,10 @@
 
 use cpm_core::coordinator::{Coordinator, ExperimentConfig, ManagementScheme, Outcome, PolicyKind};
 use cpm_core::policies::thermal::ThermalConstraints;
-use cpm_obs::{events_to_jsonl, CsvSeries, Event, Recorder, Registry};
+use cpm_obs::{
+    append_alarm_events, events_to_chrome, events_to_jsonl, CsvSeries, Event, HealthReport,
+    Recorder, Registry, SloPolicy,
+};
 use cpm_units::Celsius;
 use cpm_workloads::Mix;
 
@@ -58,12 +61,15 @@ impl TraceCell {
             .split_once('@')
             .ok_or_else(|| format!("cell `{spec}` is not of the form <policy>@<budget>"))?;
         let policy = match policy {
-            "perf" => TracePolicy::Performance,
+            // `pid` is an alias: the performance cell's PICs run the
+            // normalized PID capping loop, and provenance tooling talks
+            // about them by controller name.
+            "perf" | "pid" => TracePolicy::Performance,
             "thermal" => TracePolicy::Thermal,
             "variation" => TracePolicy::Variation,
             other => {
                 return Err(format!(
-                    "unknown policy `{other}` (expected perf, thermal, or variation)"
+                    "unknown policy `{other}` (expected perf, pid, thermal, or variation)"
                 ))
             }
         };
@@ -147,6 +153,20 @@ pub struct TraceArtifacts {
     pub metrics_json: String,
     /// Metrics-registry snapshot as a one-page text report.
     pub metrics_text: String,
+    /// SLO alarms the watchdog raised over the trajectory (the matching
+    /// `Alarm` events are appended to `events`/`jsonl`).
+    pub alarms: usize,
+    /// Watchdog health report as JSON (`cpm-health-v1`).
+    pub health_json: String,
+    /// Watchdog health report as one-page text.
+    pub health_text: String,
+    /// Control-phase wall-clock self-profile (sense/decide/actuate) —
+    /// stderr material only: wall-clock never enters byte-diffed
+    /// artifacts.
+    pub profile_text: String,
+    /// The event log as a Chrome `trace_event` JSON document
+    /// (Perfetto-ready).
+    pub chrome_json: String,
     /// The simulation outcome, for callers that want the numbers too.
     pub outcome: Outcome,
 }
@@ -170,8 +190,21 @@ pub fn run_trace(spec: &str, opts: &TraceOptions) -> Result<TraceArtifacts, Stri
     coord.set_registry(registry.clone());
     coord.set_recorder(recorder.clone());
     coord.attach_hotspot_tracker(opts.hotspot_threshold);
+    // Wall-clock self-profiling publishes to its *own* registry: the
+    // traced registry's snapshot is a byte-diffed artifact, and wall-clock
+    // must never leak into the determinism gate.
+    let profile_registry = Registry::new();
+    coord.set_profiler(Box::new(crate::profile::WallClockProfiler::new(
+        profile_registry.clone(),
+    )));
     let outcome = coord.run_for_gpm_intervals(opts.rounds);
-    let events = recorder.drain();
+    let mut events = recorder.drain();
+    // Watchdog pass: scan the recorded stream, then append the alarms as
+    // first-class events so every downstream artifact carries them.
+    let slo_policy = SloPolicy::default();
+    let slo_alarms = cpm_obs::slo::scan(&events, slo_policy);
+    append_alarm_events(&mut events, &slo_alarms);
+    let health = HealthReport::new(spec, &events, &slo_alarms, &slo_policy);
     let jsonl = events_to_jsonl(&events);
     let csv = outcome_csv(&outcome);
     let snap = registry.snapshot();
@@ -182,6 +215,11 @@ pub fn run_trace(spec: &str, opts: &TraceOptions) -> Result<TraceArtifacts, Stri
         csv,
         metrics_json: snap.to_json(),
         metrics_text: snap.to_text(),
+        alarms: slo_alarms.len(),
+        health_json: health.to_json(),
+        health_text: health.to_text(),
+        profile_text: crate::profile::profile_summary(&profile_registry),
+        chrome_json: events_to_chrome(&events),
         events,
         outcome,
     })
@@ -229,6 +267,9 @@ mod tests {
         assert_eq!(c.policy, TracePolicy::Performance);
         assert_eq!(c.budget_percent, 80.0);
         assert_eq!(c.file_stem(), "perf_80");
+        let pid = TraceCell::parse("pid@80").unwrap();
+        assert_eq!(pid.policy, TracePolicy::Performance);
+        assert_eq!(pid.file_stem(), "perf_80");
         assert_eq!(
             TraceCell::parse("thermal@75.5").unwrap().policy,
             TracePolicy::Thermal

@@ -12,7 +12,9 @@ use cpm_workloads::{spec, WorkloadAssignment};
 /// The variation policy supplies `PolicyHoldReversal`; a deliberately low
 /// hotspot threshold makes the die watchdog fire `ThermalViolation`.
 /// `Injection` is the one kind a fault-free trace cannot emit — it is
-/// covered by the scenario suite (`tests/scenarios.rs`) instead.
+/// covered by the scenario suite (`tests/scenarios.rs`) instead — and
+/// `Alarm` only appears when the SLO watchdog actually trips (also pinned
+/// by the scenario suite).
 #[test]
 fn traced_cell_emits_every_fault_free_event_kind_and_metrics() {
     let opts = TraceOptions {
@@ -23,7 +25,7 @@ fn traced_cell_emits_every_fault_free_event_kind_and_metrics() {
     let artifacts = run_trace("variation@90", &opts).expect("cell runs");
     assert_eq!(artifacts.dropped, 0, "capacity must hold the whole trace");
     for kind in EventKind::ALL {
-        if kind == EventKind::Injection {
+        if matches!(kind, EventKind::Injection | EventKind::Alarm) {
             continue;
         }
         assert!(
@@ -73,11 +75,17 @@ fn trace_replay_is_byte_deterministic() {
     assert_eq!(a.jsonl, b.jsonl, "event logs diverged");
     assert_eq!(a.csv, b.csv, "time series diverged");
     assert_eq!(a.metrics_json, b.metrics_json, "metrics diverged");
+    assert_eq!(a.chrome_json, b.chrome_json, "chrome traces diverged");
+    assert_eq!(a.health_json, b.health_json, "health reports diverged");
+    // `pid@80` is an alias for the same cell: identical trajectory.
+    let c = run_trace("pid@80", &opts).expect("alias run");
+    assert_eq!(a.jsonl, c.jsonl, "pid alias changed the trajectory");
+    cpm_obs::validate_chrome_trace(&a.chrome_json).expect("chrome trace validates");
 }
 
 /// The Fig. 4 timeline, read back off the event log: on a 2-island chip
 /// the measured trace interleaves one GPM provision (2 `GpmAllocation`
-/// events, one per island) with 10 PIC intervals (2 `PicStep` events
+/// events, one per island) with 10 PIC intervals (2 `PicDecision` events
 /// each), except the first round, which runs on the initial equal-share
 /// allocation without consulting the policy.
 #[test]
@@ -100,7 +108,7 @@ fn two_island_trace_interleaves_gpm_every_ten_pic_steps() {
         .iter()
         .filter_map(|e| match e.kind() {
             EventKind::GpmAllocation => Some('G'),
-            EventKind::PicStep => Some('P'),
+            EventKind::PicDecision => Some('P'),
             _ => None,
         })
         .collect();
@@ -119,8 +127,8 @@ fn two_island_trace_interleaves_gpm_every_ten_pic_steps() {
             .map(|e| e.time_s)
             .collect()
     };
-    let pic = times(EventKind::PicStep);
-    // Two PicStep events share each tick (one per island).
+    let pic = times(EventKind::PicDecision);
+    // Two PicDecision events share each tick (one per island).
     assert!((pic[2] - pic[0] - 0.0005).abs() < 1e-12, "PIC cadence");
     let gpm = times(EventKind::GpmAllocation);
     assert!((gpm[2] - gpm[0] - 0.005).abs() < 1e-12, "GPM cadence");

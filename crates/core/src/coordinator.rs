@@ -28,7 +28,7 @@ use crate::policies::qos::{QosAware, QosClass};
 use crate::policies::thermal::{ThermalAware, ThermalConstraints, ViolationStats};
 use crate::policies::variation::VariationAware;
 use cpm_control::PidGains;
-use cpm_obs::{EventPayload, Recorder, Registry};
+use cpm_obs::{ControlPhase, EventPayload, PhaseProfiler, Recorder, Registry, SpanId};
 use cpm_power::variation::VariationMap;
 use cpm_power::EnergyAccount;
 use cpm_sim::{Chip, ChipSnapshot, CmpConfig, InjectionSeam, TimeSeries};
@@ -402,6 +402,17 @@ pub struct Coordinator {
     /// Calibration-memo process totals at the last publish, so repeated
     /// measurements add deltas, not running totals.
     cal_stats_baseline: (u64, u64),
+    /// Recorder drop count at the last publish (delta semantics, like the
+    /// memo baselines).
+    dropped_baseline: u64,
+    /// Provenance round counter for schemes without a GPM invocation
+    /// ordinal (MaxBIPS, no-management); cumulative across measurements.
+    prov_round: u64,
+    /// Optional wall-clock self-profiler for the sense/decide/actuate
+    /// phases. The coordinator only calls the seam — the implementation
+    /// (and its clock) lives in the bench crate, and nothing it measures
+    /// enters recorded events.
+    profiler: Option<Box<dyn PhaseProfiler + Send>>,
 }
 
 impl Coordinator {
@@ -505,6 +516,9 @@ impl Coordinator {
             calib_sweep_hit: None,
             memo_published: false,
             cal_stats_baseline: cpm_sim::calibration::cache_stats(),
+            dropped_baseline: 0,
+            prov_round: 0,
+            profiler: None,
         })
     }
 
@@ -568,6 +582,15 @@ impl Coordinator {
     /// Detaches the fault-injection seam, restoring un-faulted stepping.
     pub fn clear_injection(&mut self) {
         self.injection = None;
+    }
+
+    /// Attaches a control-phase wall-clock profiler: during measurement
+    /// the coordinator brackets chip stepping/sensing (`Sense`), tier-1
+    /// provisioning (`Decide`), and the PIC invoke/DVFS loop (`Actuate`)
+    /// with `enter`/`exit` calls. Profiler output never enters recorded
+    /// events or byte-diffed artifacts — see [`cpm_obs::PhaseProfiler`].
+    pub fn set_profiler(&mut self, profiler: Box<dyn PhaseProfiler + Send>) {
+        self.profiler = Some(profiler);
     }
 
     /// Memoized front end for the reference-power probe. Returns the probe
@@ -914,6 +937,11 @@ impl Coordinator {
         // One snapshot buffer for the whole measurement: the per-step hot
         // loop below performs no heap allocation.
         let mut snap = ChipSnapshot::empty();
+        // Provenance events (GpmRound roots, Actuation leaves) read chip
+        // state the un-instrumented loop never touches, so they are gated
+        // on an attached recorder rather than on `Recorder::record`'s
+        // internal branch.
+        let record_provenance = self.recorder.is_enabled();
 
         for _gpm_round in 0..n {
             // ---- Injection: budget transients + controller liveness ----
@@ -945,7 +973,36 @@ impl Coordinator {
                 }
             }
 
+            // ---- Provenance root: this round's cause-tree anchor ----
+            // The round ordinal matches `GpmAllocation::round` (the GPM
+            // increments its invocation count inside `provision`); the
+            // feedback-free first round is round 0, like the equal split.
+            let round_no = match &self.manager {
+                Manager::Cpm { gpm, .. } if have_feedback => gpm.invocations() + 1,
+                Manager::Cpm { .. } => 0,
+                _ => self.prov_round,
+            };
+            if record_provenance {
+                // `acc_power` still holds the previous interval's sums at
+                // this point — the mean chip draw the GPM is reacting to.
+                let actual_w = if have_feedback {
+                    acc_power.iter().map(|w| w.value()).sum::<f64>() / pics_per_gpm as f64
+                } else {
+                    0.0
+                };
+                self.recorder.record(EventPayload::GpmRound {
+                    span: SpanId::gpm_round(round_no).raw(),
+                    round: round_no,
+                    budget_w: round_budget.value(),
+                    actual_w,
+                    islands: islands as u32,
+                });
+            }
+
             // ---- Tier 1: global provisioning ----
+            if let Some(p) = &mut self.profiler {
+                p.enter(ControlPhase::Decide);
+            }
             match &mut self.manager {
                 Manager::Cpm { gpm, pics } => {
                     if have_feedback {
@@ -983,6 +1040,7 @@ impl Coordinator {
                     }
                     for (pic, &a) in pics.iter_mut().zip(&self.alloc) {
                         pic.set_target(a);
+                        pic.begin_round(round_no);
                     }
                 }
                 Manager::MaxBips { mb, static_table } => {
@@ -1015,14 +1073,29 @@ impl Coordinator {
                             );
                         }
                         let combo = mb.choose(round_budget, static_table.as_ref().unwrap());
-                        for (i, &lvl) in combo.iter().enumerate() {
+                        for (i, &requested) in combo.iter().enumerate() {
                             let lvl = match &mut self.injection {
                                 Some(seam) => {
                                     let cur = self.chip.island_dvfs(IslandId(i));
-                                    seam.filter_actuate(now, IslandId(i), lvl, cur)
+                                    seam.filter_actuate(now, IslandId(i), requested, cur)
                                 }
-                                None => lvl,
+                                None => requested,
                             };
+                            if record_provenance {
+                                // MaxBIPS actuates straight from the round
+                                // decision — no PIC in between — so the
+                                // actuation parents on the round span.
+                                let from = self.chip.island_dvfs(IslandId(i)) as u32;
+                                self.recorder.record(EventPayload::Actuation {
+                                    span: SpanId::actuation(round_no, i as u32, 0).raw(),
+                                    parent: SpanId::gpm_round(round_no).raw(),
+                                    island: i as u32,
+                                    from_dvfs: from,
+                                    requested_dvfs: requested as u32,
+                                    to_dvfs: lvl as u32,
+                                    granted: lvl == requested,
+                                });
+                            }
                             self.chip.set_island_dvfs(IslandId(i), lvl);
                         }
                     }
@@ -1030,6 +1103,9 @@ impl Coordinator {
                     self.alloc = vec![round_budget / islands as f64; islands];
                 }
                 Manager::None => {}
+            }
+            if let Some(p) = &mut self.profiler {
+                p.exit(ControlPhase::Decide);
             }
 
             acc_power.fill(Watts::ZERO);
@@ -1039,7 +1115,10 @@ impl Coordinator {
             acc_peak_temp.fill(0.0);
 
             // ---- Tier 2: local control, one PIC interval at a time ----
-            for _k in 0..pics_per_gpm {
+            for k in 0..pics_per_gpm {
+                if let Some(p) = &mut self.profiler {
+                    p.enter(ControlPhase::Sense);
+                }
                 self.chip.step_pic_into(&mut snap);
                 let t = snap.time;
                 self.recorder.set_time(t.value());
@@ -1076,6 +1155,10 @@ impl Coordinator {
                 );
                 out.total_instructions += snap.instructions;
                 out.measured_time += snap.dt;
+                if let Some(p) = &mut self.profiler {
+                    p.exit(ControlPhase::Sense);
+                    p.enter(ControlPhase::Actuate);
+                }
 
                 if let Manager::Cpm { pics, .. } = &mut self.manager {
                     match &mut self.injection {
@@ -1083,6 +1166,21 @@ impl Coordinator {
                             for (i, pic) in pics.iter_mut().enumerate() {
                                 let isl = &snap.islands[i];
                                 let idx = pic.invoke(isl.capacity_utilization, isl.power);
+                                if record_provenance {
+                                    // Un-faulted platform: the knob honors
+                                    // the request verbatim.
+                                    let from = self.chip.island_dvfs(IslandId(i)) as u32;
+                                    self.recorder.record(EventPayload::Actuation {
+                                        span: SpanId::actuation(round_no, i as u32, k as u32).raw(),
+                                        parent: SpanId::pic_decision(round_no, i as u32, k as u32)
+                                            .raw(),
+                                        island: i as u32,
+                                        from_dvfs: from,
+                                        requested_dvfs: idx as u32,
+                                        to_dvfs: idx as u32,
+                                        granted: true,
+                                    });
+                                }
                                 self.chip.set_island_dvfs(IslandId(i), idx);
                             }
                         }
@@ -1098,13 +1196,29 @@ impl Coordinator {
                                 let requested = pic.invoke(u, p);
                                 let current = self.chip.island_dvfs(id);
                                 let idx = seam.filter_actuate(t, id, requested, current);
+                                if record_provenance {
+                                    self.recorder.record(EventPayload::Actuation {
+                                        span: SpanId::actuation(round_no, i as u32, k as u32).raw(),
+                                        parent: SpanId::pic_decision(round_no, i as u32, k as u32)
+                                            .raw(),
+                                        island: i as u32,
+                                        from_dvfs: current as u32,
+                                        requested_dvfs: requested as u32,
+                                        to_dvfs: idx as u32,
+                                        granted: idx == requested,
+                                    });
+                                }
                                 self.chip.set_island_dvfs(id, idx);
                             }
                         }
                     }
                 }
+                if let Some(p) = &mut self.profiler {
+                    p.exit(ControlPhase::Actuate);
+                }
             }
             have_feedback = true;
+            self.prov_round += 1;
         }
 
         // Leave the GPM in its nominal state: an injection-scaled budget
@@ -1163,6 +1277,13 @@ impl Coordinator {
         self.registry
             .counter("memo.calibration.misses")
             .add(cal_misses.saturating_sub(base_misses));
+        // Recorder overflow surfaces as a counter so truncated histories
+        // are visible in every metrics snapshot (delta since last publish).
+        let dropped = self.recorder.dropped();
+        self.registry
+            .counter("recorder.dropped_events")
+            .add(dropped.saturating_sub(self.dropped_baseline));
+        self.dropped_baseline = dropped;
         let r = &self.registry;
         r.counter("coordinator.gpm_rounds").add(rounds);
         if let Manager::Cpm { gpm, pics } = &self.manager {

@@ -26,7 +26,7 @@
 //! shift the true gain.
 
 use cpm_control::{Pid, PidGains};
-use cpm_obs::{EventPayload, Recorder};
+use cpm_obs::{EventPayload, Recorder, SpanId};
 use cpm_power::dvfs::DvfsTable;
 use cpm_power::UtilizationPowerTransducer;
 use cpm_units::{IslandId, Ratio, Watts};
@@ -81,6 +81,11 @@ pub struct PerIslandController {
     /// die temperature put under it.
     sensor_offset: f64,
     invocations: u64,
+    /// GPM round currently in force (provenance coordinate, set by the
+    /// coordinator via [`PerIslandController::begin_round`]).
+    round: u64,
+    /// PIC interval ordinal within the current round.
+    step_in_round: u32,
     /// Flight-recorder handle (disabled by default: one branch per invoke).
     recorder: Recorder,
 }
@@ -127,12 +132,14 @@ impl PerIslandController {
             target: island_max_power,
             sensor_offset: 0.0,
             invocations: 0,
+            round: 0,
+            step_in_round: 0,
             recorder: Recorder::disabled(),
         }
     }
 
     /// Attaches a flight-recorder handle; every `invoke` then emits a
-    /// [`EventPayload::PicStep`] and every `rezero` a
+    /// [`EventPayload::PicDecision`] and every `rezero` a
     /// [`EventPayload::TransducerRezero`].
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
@@ -165,6 +172,21 @@ impl PerIslandController {
     /// Number of control invocations so far.
     pub fn invocations(&self) -> u64 {
         self.invocations
+    }
+
+    /// Marks the start of GPM round `round`: subsequent `invoke`s stamp
+    /// their [`EventPayload::PicDecision`] events with this round and a
+    /// step ordinal counting from 0, which is what makes the emitted
+    /// span ids line up with the coordinator's `GpmRound` span.
+    pub fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.step_in_round = 0;
+    }
+
+    /// The provenance coordinate of the *next* invocation:
+    /// `(round, step)` as the emitted span id will carry it.
+    pub fn next_decision_coordinates(&self) -> (u64, u32) {
+        (self.round, self.step_in_round)
     }
 
     /// Sets a new power target (the GPM's provisioned value). The PID state
@@ -254,8 +276,17 @@ impl PerIslandController {
         self.prev_f_norm = before;
         self.invocations += 1;
         let index = self.current_index();
-        self.recorder.record(EventPayload::PicStep {
-            island: self.island.0 as u32,
+        let island = self.island.0 as u32;
+        let span = SpanId::pic_decision(self.round, island, self.step_in_round);
+        self.recorder.record(EventPayload::PicDecision {
+            span: span.raw(),
+            parent: SpanId::gpm_round(self.round).raw(),
+            round: self.round,
+            step: self.step_in_round,
+            island,
+            sensed_w: measured.value(),
+            utilization: capacity_utilization.value(),
+            target_w: self.target.value(),
             error,
             p_term: terms.p,
             i_term: terms.i,
@@ -264,6 +295,7 @@ impl PerIslandController {
             dvfs_index: index as u32,
             saturated: (realized - desired).abs() > 1e-12,
         });
+        self.step_in_round += 1;
         index
     }
 

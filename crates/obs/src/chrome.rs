@@ -1,0 +1,445 @@
+//! Chrome `trace_event` JSON export, so any recorded trajectory opens in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! The rendering maps the simulated chip onto one trace process
+//! (`pid 0`, named `cpm-chip`) with one thread lane per control context:
+//! `tid 0` is the GPM, `tid 1 + i` is island `i`'s PIC, and
+//! `tid 1000 + w` carries replay-phase `WorkerSpan`s for execution
+//! context `w`. Timestamps are the events' **simulated** time converted
+//! to microseconds, so the exported bytes are as deterministic as the
+//! event stream itself and CI can diff them across worker counts.
+//!
+//! Event mapping:
+//!
+//! * `WorkerSpan` → complete span (`"ph": "X"`),
+//! * `GpmAllocation` → per-island counter track (`"ph": "C"`) carrying
+//!   allocated vs actual watts,
+//! * everything else → instant events (`"ph": "i"`) on their island's
+//!   lane with the payload as `args`.
+
+use crate::event::{Event, EventPayload};
+use crate::export::num;
+use std::collections::BTreeSet;
+
+/// Thread-id lane for an island's PIC.
+fn island_tid(island: u32) -> u64 {
+    1 + island as u64
+}
+
+/// Thread-id lane for a worker span.
+fn worker_tid(worker: u32) -> u64 {
+    1000 + worker as u64
+}
+
+/// Microsecond timestamp with fixed sub-µs precision.
+fn us(time_s: f64) -> String {
+    let v = time_s * 1e6;
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+/// The lane an event renders on (`tid 0` for chip-wide events).
+fn tid_of(event: &Event) -> u64 {
+    match event.payload {
+        EventPayload::GpmRound { .. } | EventPayload::GpmAllocation { .. } => 0,
+        EventPayload::PicDecision { island, .. }
+        | EventPayload::Actuation { island, .. }
+        | EventPayload::TransducerRezero { island, .. }
+        | EventPayload::PolicyHoldReversal { island, .. } => island_tid(island),
+        EventPayload::ThermalViolation { island, .. } => island_tid(island),
+        EventPayload::WorkerSpan { worker, .. } => worker_tid(worker),
+        EventPayload::Injection { island, .. } | EventPayload::Alarm { island, .. } => {
+            if island == u32::MAX {
+                0
+            } else {
+                island_tid(island)
+            }
+        }
+    }
+}
+
+/// Renders a drained event slice as a Chrome `trace_event` JSON
+/// document (object form, one trace-event per line).
+pub fn events_to_chrome(events: &[Event]) -> String {
+    let mut s = String::with_capacity(events.len() * 160 + 256);
+    s.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |s: &mut String, line: &str| {
+        if !std::mem::take(&mut first) {
+            s.push_str(",\n");
+        }
+        s.push_str(line);
+    };
+
+    // Metadata first: name the process and every lane in use.
+    push(
+        &mut s,
+        "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", \
+         \"args\": {\"name\": \"cpm-chip\"}}",
+    );
+    let tids: BTreeSet<u64> = events.iter().map(tid_of).collect();
+    for tid in tids {
+        let lane = if tid == 0 {
+            "gpm".to_string()
+        } else if tid >= 1000 {
+            format!("worker{}", tid - 1000)
+        } else {
+            format!("island{}", tid - 1)
+        };
+        push(
+            &mut s,
+            &format!(
+                "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {tid}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": \"{lane}\"}}}}"
+            ),
+        );
+    }
+
+    for e in events {
+        let tid = tid_of(e);
+        let ts = us(e.time_s);
+        let line = match e.payload {
+            EventPayload::WorkerSpan {
+                label,
+                start_s,
+                end_s,
+                ..
+            } => {
+                let dur = ((end_s - start_s) * 1e6).max(0.0);
+                format!(
+                    "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {tid}, \"ts\": {}, \
+                     \"dur\": {:.3}, \"name\": \"{label}\", \"args\": {{\"seq\": {}}}}}",
+                    us(start_s),
+                    if dur.is_finite() { dur } else { 0.0 },
+                    e.seq
+                )
+            }
+            EventPayload::GpmAllocation {
+                round,
+                island,
+                allocated_w,
+                actual_w,
+                ..
+            } => format!(
+                "{{\"ph\": \"C\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                 \"name\": \"island{island} power_w\", \"args\": {{\"allocated\": {}, \
+                 \"actual\": {}, \"round\": {round}}}}}",
+                num(allocated_w),
+                num(actual_w)
+            ),
+            EventPayload::GpmRound {
+                span,
+                round,
+                budget_w,
+                actual_w,
+                islands,
+            } => format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"p\", \
+                 \"name\": \"GpmRound\", \"args\": {{\"span\": {span}, \"round\": {round}, \
+                 \"budget_w\": {}, \"actual_w\": {}, \"islands\": {islands}}}}}",
+                num(budget_w),
+                num(actual_w)
+            ),
+            EventPayload::PicDecision {
+                span,
+                parent,
+                round,
+                step,
+                island,
+                sensed_w,
+                target_w,
+                error,
+                output,
+                dvfs_index,
+                ..
+            } => format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \
+                 \"name\": \"PicDecision\", \"args\": {{\"span\": {span}, \"parent\": {parent}, \
+                 \"round\": {round}, \"step\": {step}, \"island\": {island}, \"sensed_w\": {}, \
+                 \"target_w\": {}, \"error\": {}, \"output\": {}, \"dvfs\": {dvfs_index}}}}}",
+                num(sensed_w),
+                num(target_w),
+                num(error),
+                num(output)
+            ),
+            EventPayload::Actuation {
+                span,
+                parent,
+                island,
+                from_dvfs,
+                requested_dvfs,
+                to_dvfs,
+                granted,
+            } => format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \
+                 \"name\": \"Actuation\", \"args\": {{\"span\": {span}, \"parent\": {parent}, \
+                 \"island\": {island}, \"from\": {from_dvfs}, \"requested\": {requested_dvfs}, \
+                 \"to\": {to_dvfs}, \"granted\": {granted}}}}}"
+            ),
+            EventPayload::TransducerRezero {
+                island,
+                residual_w,
+                offset_w,
+            } => format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \
+                 \"name\": \"TransducerRezero\", \"args\": {{\"island\": {island}, \
+                 \"residual_w\": {}, \"offset_w\": {}}}}}",
+                num(residual_w),
+                num(offset_w)
+            ),
+            EventPayload::ThermalViolation {
+                source,
+                island,
+                partner,
+                value,
+                limit,
+            } => {
+                let partner_arg = if partner != u32::MAX {
+                    format!(", \"partner\": {partner}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \
+                     \"name\": \"ThermalViolation\", \"args\": {{\"source\": \"{}\", \
+                     \"island\": {island}{partner_arg}, \"value\": {}, \"limit\": {}}}}}",
+                    source.as_str(),
+                    num(value),
+                    num(limit)
+                )
+            }
+            EventPayload::PolicyHoldReversal {
+                island,
+                level,
+                epi_now,
+                epi_prev,
+                hold_intervals,
+            } => format!(
+                "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"t\", \
+                 \"name\": \"PolicyHoldReversal\", \"args\": {{\"island\": {island}, \
+                 \"level\": {}, \"epi_now\": {}, \"epi_prev\": {}, \
+                 \"hold_intervals\": {hold_intervals}}}}}",
+                num(level),
+                num(epi_now),
+                num(epi_prev)
+            ),
+            EventPayload::Injection {
+                label,
+                island,
+                active,
+                value,
+            } => {
+                let island_arg = if island != u32::MAX {
+                    format!(", \"island\": {island}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"g\", \
+                     \"name\": \"Injection {label}\", \"args\": {{\"active\": {active}, \
+                     \"value\": {}{island_arg}}}}}",
+                    num(value)
+                )
+            }
+            EventPayload::Alarm {
+                monitor,
+                island,
+                round,
+                value,
+                threshold,
+            } => {
+                let island_arg = if island != u32::MAX {
+                    format!(", \"island\": {island}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{{\"ph\": \"i\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \"s\": \"g\", \
+                     \"name\": \"Alarm {monitor}\", \"args\": {{\"round\": {round}, \
+                     \"value\": {}, \"threshold\": {}{island_arg}}}}}",
+                    num(value),
+                    num(threshold)
+                )
+            }
+        };
+        push(&mut s, &line);
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
+/// Structural validation of a rendered Chrome trace: the envelope keys,
+/// one balanced JSON object per trace-event line, and a `ph` tag on each.
+/// This is the same bar the pinned-fixture test and the artifact schema
+/// gate hold generated traces to.
+pub fn validate_chrome_trace(doc: &str) -> Result<(), String> {
+    if !doc.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [") {
+        return Err("missing trace envelope".to_string());
+    }
+    if !doc.ends_with("]}\n") {
+        return Err("unterminated traceEvents array".to_string());
+    }
+    let mut saw_process_meta = false;
+    for (i, line) in doc.lines().enumerate() {
+        if i == 0 || !line.starts_with('{') {
+            continue;
+        }
+        let body = line.trim_end_matches(',');
+        if body.matches('{').count() != body.matches('}').count() {
+            return Err(format!("unbalanced braces on line {}: {line}", i + 1));
+        }
+        if !body.contains("\"ph\": \"") {
+            return Err(format!("trace event without ph on line {}: {line}", i + 1));
+        }
+        if body.contains("\"process_name\"") {
+            saw_process_meta = true;
+        }
+    }
+    if !saw_process_meta {
+        return Err("missing process_name metadata".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    fn ev(seq: u64, time_s: f64, payload: EventPayload) -> Event {
+        Event {
+            seq,
+            time_s,
+            payload,
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let pic = SpanId::pic_decision(1, 1, 0);
+        let act = SpanId::actuation(1, 1, 0);
+        vec![
+            ev(
+                0,
+                0.005,
+                EventPayload::GpmRound {
+                    span: SpanId::gpm_round(1).raw(),
+                    round: 1,
+                    budget_w: 64.0,
+                    actual_w: 60.0,
+                    islands: 2,
+                },
+            ),
+            ev(
+                1,
+                0.005,
+                EventPayload::GpmAllocation {
+                    round: 1,
+                    island: 1,
+                    allocated_w: 32.0,
+                    actual_w: 30.0,
+                    budget_w: 64.0,
+                },
+            ),
+            ev(
+                2,
+                0.0055,
+                EventPayload::PicDecision {
+                    span: pic.raw(),
+                    parent: pic.parent().unwrap().raw(),
+                    round: 1,
+                    step: 0,
+                    island: 1,
+                    sensed_w: 30.5,
+                    utilization: 0.8,
+                    target_w: 32.0,
+                    error: 0.02,
+                    p_term: 0.008,
+                    i_term: 0.001,
+                    d_term: 0.0,
+                    output: 0.009,
+                    dvfs_index: 6,
+                    saturated: false,
+                },
+            ),
+            ev(
+                3,
+                0.0055,
+                EventPayload::Actuation {
+                    span: act.raw(),
+                    parent: act.parent().unwrap().raw(),
+                    island: 1,
+                    from_dvfs: 5,
+                    requested_dvfs: 6,
+                    to_dvfs: 6,
+                    granted: true,
+                },
+            ),
+            ev(
+                4,
+                0.01,
+                EventPayload::WorkerSpan {
+                    worker: 0,
+                    label: "measure",
+                    start_s: 0.0,
+                    end_s: 0.01,
+                },
+            ),
+            ev(
+                5,
+                0.01,
+                EventPayload::Alarm {
+                    monitor: "budget-overshoot",
+                    island: u32::MAX,
+                    round: 1,
+                    value: 0.08,
+                    threshold: 0.05,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn rendered_trace_validates_and_names_every_lane() {
+        let doc = events_to_chrome(&sample_events());
+        validate_chrome_trace(&doc).expect("generated trace must validate");
+        for needle in [
+            "\"name\": \"cpm-chip\"",
+            "\"name\": \"gpm\"",
+            "\"name\": \"island1\"",
+            "\"name\": \"worker0\"",
+            "\"ph\": \"X\"",
+            "\"ph\": \"C\"",
+            "\"name\": \"GpmRound\"",
+            "\"name\": \"PicDecision\"",
+            "\"name\": \"Actuation\"",
+            "\"name\": \"Alarm budget-overshoot\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+        // Simulated µs: the 5 ms GpmRound lands at ts 5000.
+        assert!(doc.contains("\"ts\": 5000.000"), "{doc}");
+        // 10 ms worker span renders a 10 000 µs duration.
+        assert!(doc.contains("\"dur\": 10000.000"), "{doc}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_empty_stream_still_validates() {
+        let events = sample_events();
+        assert_eq!(events_to_chrome(&events), events_to_chrome(&events));
+        let empty = events_to_chrome(&[]);
+        validate_chrome_trace(&empty).expect("empty trace must validate");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_chrome_trace("not a trace").is_err());
+        let doc = events_to_chrome(&sample_events());
+        let broken = doc.replace("\"ph\": \"C\"", "\"qh\": \"C\"");
+        assert!(validate_chrome_trace(&broken).is_err());
+        let truncated = &doc[..doc.len() - 4];
+        assert!(validate_chrome_trace(truncated).is_err());
+    }
+}

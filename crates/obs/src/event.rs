@@ -4,10 +4,15 @@
 //! sequence number assigned at record time; the payload is one of a small
 //! closed taxonomy covering the GPM/PIC control stack:
 //!
+//! * [`EventPayload::GpmRound`] — the root span of one GPM provisioning
+//!   round (chip budget in force, sensed chip draw),
 //! * [`EventPayload::GpmAllocation`] — one island's provisioning decision
 //!   at a GPM invocation,
-//! * [`EventPayload::PicStep`] — one PIC invocation with the PID
-//!   internals (error, P/I/D terms, actuator saturation),
+//! * [`EventPayload::PicDecision`] — one PIC invocation with its causal
+//!   span, the inputs that produced it (sensed power, utilization,
+//!   target), and the PID internals (error, P/I/D terms, saturation),
+//! * [`EventPayload::Actuation`] — a DVFS knob application (requested vs
+//!   granted operating point), child of the decision that asked for it,
 //! * [`EventPayload::TransducerRezero`] — the GPM-granularity sensing
 //!   bias trim applied to a PIC's fast transducer,
 //! * [`EventPayload::ThermalViolation`] — a thermal constraint or die
@@ -17,7 +22,14 @@
 //! * [`EventPayload::WorkerSpan`] — a labelled span of work attributed to
 //!   an execution context (replay phases, pool jobs),
 //! * [`EventPayload::Injection`] — a fault-injection effect switching on
-//!   or off (scenario harness edge markers).
+//!   or off (scenario harness edge markers),
+//! * [`EventPayload::Alarm`] — an SLO watchdog monitor tripping over the
+//!   event stream (see [`crate::slo`]).
+//!
+//! The three decision kinds (`GpmRound` → `PicDecision` → `Actuation`)
+//! carry structural [`crate::SpanId`] values in their `span`/`parent`
+//! fields, so a drained trajectory is a walkable cause tree — see
+//! [`crate::span`].
 //!
 //! Payloads are `Copy` (labels are `&'static str`) so recording never
 //! allocates on the hot path.
@@ -49,6 +61,23 @@ impl ThermalSource {
 /// The event taxonomy (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventPayload {
+    /// The root span of one GPM provisioning round: the chip-wide
+    /// context every per-island decision of the round descends from.
+    GpmRound {
+        /// Causal span id ([`crate::SpanId::gpm_round`], raw).
+        span: u64,
+        /// GPM invocation ordinal (matches `GpmAllocation::round`; the
+        /// pre-feedback equal split is round 0).
+        round: u64,
+        /// Chip budget in force this round (injection scaling applied),
+        /// watts.
+        budget_w: f64,
+        /// Mean chip power sensed over the interval that just ended,
+        /// watts (0 for the first, feedback-free round).
+        actual_w: f64,
+        /// Number of islands provisioned this round.
+        islands: u32,
+    },
     /// One island's allocation at a GPM invocation.
     GpmAllocation {
         /// GPM invocation ordinal (1-based; the pre-feedback equal split
@@ -64,10 +93,25 @@ pub enum EventPayload {
         /// Chip budget in force, watts.
         budget_w: f64,
     },
-    /// One PIC invocation with controller internals.
-    PicStep {
+    /// One PIC invocation: the causal span, the sensed inputs that
+    /// produced the decision, and the controller internals.
+    PicDecision {
+        /// Causal span id ([`crate::SpanId::pic_decision`], raw).
+        span: u64,
+        /// Parent span id (the enclosing [`EventPayload::GpmRound`]).
+        parent: u64,
+        /// GPM round this invocation belongs to.
+        round: u64,
+        /// PIC interval ordinal within the round (`0..pics_per_gpm`).
+        step: u32,
         /// Island index.
         island: u32,
+        /// Power the transducer sensed (bias trim applied), watts.
+        sensed_w: f64,
+        /// Capacity utilization observed this interval (0..=1).
+        utilization: f64,
+        /// Power target the GPM provisioned for this island, watts.
+        target_w: f64,
         /// Normalized tracking error fed to the PID.
         error: f64,
         /// Proportional term of the control output.
@@ -83,6 +127,27 @@ pub enum EventPayload {
         /// True when the slew limit or the V/F range clamp refused part of
         /// the requested move (anti-windup back-calculation engaged).
         saturated: bool,
+    },
+    /// A DVFS knob application: what the decision requested versus what
+    /// the platform granted (fault seams may veto or defer moves).
+    Actuation {
+        /// Causal span id ([`crate::SpanId::actuation`], raw).
+        span: u64,
+        /// Parent span id (the [`EventPayload::PicDecision`] that asked,
+        /// or the [`EventPayload::GpmRound`] for direct-actuation schemes
+        /// such as MaxBIPS).
+        parent: u64,
+        /// Island index.
+        island: u32,
+        /// Operating point before the move.
+        from_dvfs: u32,
+        /// Operating point the controller requested.
+        requested_dvfs: u32,
+        /// Operating point actually in force after the move.
+        to_dvfs: u32,
+        /// True when the platform honored the request verbatim
+        /// (`to_dvfs == requested_dvfs`).
+        granted: bool,
     },
     /// The coarse per-island meter re-zeroed a PIC's fast transducer.
     TransducerRezero {
@@ -146,15 +211,34 @@ pub enum EventPayload {
         /// 0 for parameter-free effects).
         value: f64,
     },
+    /// An SLO watchdog monitor tripped (see [`crate::slo`]). Emitted
+    /// deterministically from the event stream itself, so alarms ride
+    /// golden trajectories like any other event.
+    Alarm {
+        /// Monitor label, e.g. `"tracking-error"` or `"actuator-churn"`.
+        monitor: &'static str,
+        /// Offending island (`u32::MAX` for chip-wide monitors).
+        island: u32,
+        /// GPM round at which the violation episode began.
+        round: u64,
+        /// The observed value that tripped the monitor.
+        value: f64,
+        /// The policy threshold it violated.
+        threshold: f64,
+    },
 }
 
 /// Discriminant-only view of a payload, for counting and golden tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EventKind {
+    /// [`EventPayload::GpmRound`].
+    GpmRound,
     /// [`EventPayload::GpmAllocation`].
     GpmAllocation,
-    /// [`EventPayload::PicStep`].
-    PicStep,
+    /// [`EventPayload::PicDecision`].
+    PicDecision,
+    /// [`EventPayload::Actuation`].
+    Actuation,
     /// [`EventPayload::TransducerRezero`].
     TransducerRezero,
     /// [`EventPayload::ThermalViolation`].
@@ -165,30 +249,38 @@ pub enum EventKind {
     WorkerSpan,
     /// [`EventPayload::Injection`].
     Injection,
+    /// [`EventPayload::Alarm`].
+    Alarm,
 }
 
 impl EventKind {
     /// All kinds, in taxonomy order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 10] = [
+        EventKind::GpmRound,
         EventKind::GpmAllocation,
-        EventKind::PicStep,
+        EventKind::PicDecision,
+        EventKind::Actuation,
         EventKind::TransducerRezero,
         EventKind::ThermalViolation,
         EventKind::PolicyHoldReversal,
         EventKind::WorkerSpan,
         EventKind::Injection,
+        EventKind::Alarm,
     ];
 
     /// Stable identifier used in exports.
     pub fn as_str(self) -> &'static str {
         match self {
+            EventKind::GpmRound => "GpmRound",
             EventKind::GpmAllocation => "GpmAllocation",
-            EventKind::PicStep => "PicStep",
+            EventKind::PicDecision => "PicDecision",
+            EventKind::Actuation => "Actuation",
             EventKind::TransducerRezero => "TransducerRezero",
             EventKind::ThermalViolation => "ThermalViolation",
             EventKind::PolicyHoldReversal => "PolicyHoldReversal",
             EventKind::WorkerSpan => "WorkerSpan",
             EventKind::Injection => "Injection",
+            EventKind::Alarm => "Alarm",
         }
     }
 }
@@ -197,13 +289,16 @@ impl EventPayload {
     /// The payload's kind.
     pub fn kind(&self) -> EventKind {
         match self {
+            EventPayload::GpmRound { .. } => EventKind::GpmRound,
             EventPayload::GpmAllocation { .. } => EventKind::GpmAllocation,
-            EventPayload::PicStep { .. } => EventKind::PicStep,
+            EventPayload::PicDecision { .. } => EventKind::PicDecision,
+            EventPayload::Actuation { .. } => EventKind::Actuation,
             EventPayload::TransducerRezero { .. } => EventKind::TransducerRezero,
             EventPayload::ThermalViolation { .. } => EventKind::ThermalViolation,
             EventPayload::PolicyHoldReversal { .. } => EventKind::PolicyHoldReversal,
             EventPayload::WorkerSpan { .. } => EventKind::WorkerSpan,
             EventPayload::Injection { .. } => EventKind::Injection,
+            EventPayload::Alarm { .. } => EventKind::Alarm,
         }
     }
 }
@@ -236,8 +331,15 @@ mod tests {
         for k in EventKind::ALL {
             assert!(!k.as_str().is_empty());
         }
-        let p = EventPayload::PicStep {
+        let p = EventPayload::PicDecision {
+            span: crate::SpanId::pic_decision(1, 0, 3).raw(),
+            parent: crate::SpanId::gpm_round(1).raw(),
+            round: 1,
+            step: 3,
             island: 0,
+            sensed_w: 18.2,
+            utilization: 0.8,
+            target_w: 20.0,
             error: 0.1,
             p_term: 0.04,
             i_term: 0.0,
@@ -246,8 +348,8 @@ mod tests {
             dvfs_index: 5,
             saturated: false,
         };
-        assert_eq!(p.kind(), EventKind::PicStep);
-        assert_eq!(p.kind().as_str(), "PicStep");
+        assert_eq!(p.kind(), EventKind::PicDecision);
+        assert_eq!(p.kind().as_str(), "PicDecision");
     }
 
     #[test]

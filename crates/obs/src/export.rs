@@ -10,8 +10,9 @@ use crate::event::{Event, EventPayload};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
-/// Fixed-precision float formatting shared by both exporters.
-fn num(x: f64) -> String {
+/// Fixed-precision float formatting shared by the exporters and the
+/// SLO/Chrome renderers.
+pub(crate) fn num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {
@@ -33,6 +34,20 @@ pub fn event_to_jsonl(event: &Event) -> String {
         event.kind().as_str()
     );
     match event.payload {
+        EventPayload::GpmRound {
+            span,
+            round,
+            budget_w,
+            actual_w,
+            islands,
+        } => {
+            let _ = write!(
+                s,
+                ", \"span\": {span}, \"round\": {round}, \"budget_w\": {}, \"actual_w\": {}, \"islands\": {islands}",
+                num(budget_w),
+                num(actual_w)
+            );
+        }
         EventPayload::GpmAllocation {
             round,
             island,
@@ -48,8 +63,15 @@ pub fn event_to_jsonl(event: &Event) -> String {
                 num(budget_w)
             );
         }
-        EventPayload::PicStep {
+        EventPayload::PicDecision {
+            span,
+            parent,
+            round,
+            step,
             island,
+            sensed_w,
+            utilization,
+            target_w,
             error,
             p_term,
             i_term,
@@ -60,12 +82,29 @@ pub fn event_to_jsonl(event: &Event) -> String {
         } => {
             let _ = write!(
                 s,
-                ", \"island\": {island}, \"error\": {}, \"p\": {}, \"i\": {}, \"d\": {}, \"output\": {}, \"dvfs\": {dvfs_index}, \"saturated\": {saturated}",
+                ", \"span\": {span}, \"parent\": {parent}, \"round\": {round}, \"step\": {step}, \"island\": {island}, \"sensed_w\": {}, \"utilization\": {}, \"target_w\": {}, \"error\": {}, \"p\": {}, \"i\": {}, \"d\": {}, \"output\": {}, \"dvfs\": {dvfs_index}, \"saturated\": {saturated}",
+                num(sensed_w),
+                num(utilization),
+                num(target_w),
                 num(error),
                 num(p_term),
                 num(i_term),
                 num(d_term),
                 num(output)
+            );
+        }
+        EventPayload::Actuation {
+            span,
+            parent,
+            island,
+            from_dvfs,
+            requested_dvfs,
+            to_dvfs,
+            granted,
+        } => {
+            let _ = write!(
+                s,
+                ", \"span\": {span}, \"parent\": {parent}, \"island\": {island}, \"from_dvfs\": {from_dvfs}, \"requested_dvfs\": {requested_dvfs}, \"to_dvfs\": {to_dvfs}, \"granted\": {granted}"
             );
         }
         EventPayload::TransducerRezero {
@@ -136,6 +175,24 @@ pub fn event_to_jsonl(event: &Event) -> String {
                 let _ = write!(s, ", \"island\": {island}");
             }
             let _ = write!(s, ", \"active\": {active}, \"value\": {}", num(value));
+        }
+        EventPayload::Alarm {
+            monitor,
+            island,
+            round,
+            value,
+            threshold,
+        } => {
+            let _ = write!(s, ", \"monitor\": \"{monitor}\"");
+            if island != u32::MAX {
+                let _ = write!(s, ", \"island\": {island}");
+            }
+            let _ = write!(
+                s,
+                ", \"round\": {round}, \"value\": {}, \"threshold\": {}",
+                num(value),
+                num(threshold)
+            );
         }
     }
     s.push('}');
@@ -231,12 +288,20 @@ mod tests {
     }
 
     #[test]
-    fn pic_step_line_has_stable_field_order() {
+    fn pic_decision_line_has_stable_field_order() {
+        let span = crate::SpanId::pic_decision(2, 1, 3);
         let line = event_to_jsonl(&at(
             3,
             0.0015,
-            EventPayload::PicStep {
+            EventPayload::PicDecision {
+                span: span.raw(),
+                parent: span.parent().unwrap().raw(),
+                round: 2,
+                step: 3,
                 island: 1,
+                sensed_w: 18.5,
+                utilization: 0.75,
+                target_w: 16.0,
                 error: -0.125,
                 p_term: -0.05,
                 i_term: -0.0625,
@@ -248,10 +313,98 @@ mod tests {
         ));
         assert_eq!(
             line,
-            "{\"seq\": 3, \"t\": 0.001500, \"kind\": \"PicStep\", \"island\": 1, \
-             \"error\": -0.125000, \"p\": -0.050000, \"i\": -0.062500, \"d\": -0.012500, \
-             \"output\": -0.125000, \"dvfs\": 7, \"saturated\": true}"
+            format!(
+                "{{\"seq\": 3, \"t\": 0.001500, \"kind\": \"PicDecision\", \
+                 \"span\": {}, \"parent\": {}, \"round\": 2, \"step\": 3, \"island\": 1, \
+                 \"sensed_w\": 18.500000, \"utilization\": 0.750000, \"target_w\": 16.000000, \
+                 \"error\": -0.125000, \"p\": -0.050000, \"i\": -0.062500, \"d\": -0.012500, \
+                 \"output\": -0.125000, \"dvfs\": 7, \"saturated\": true}}",
+                span.raw(),
+                span.parent().unwrap().raw()
+            )
         );
+    }
+
+    #[test]
+    fn actuation_and_round_lines_carry_span_links() {
+        let round = crate::SpanId::gpm_round(14);
+        let line = event_to_jsonl(&at(
+            10,
+            0.07,
+            EventPayload::GpmRound {
+                span: round.raw(),
+                round: 14,
+                budget_w: 64.0,
+                actual_w: 61.5,
+                islands: 4,
+            },
+        ));
+        assert_eq!(
+            line,
+            format!(
+                "{{\"seq\": 10, \"t\": 0.070000, \"kind\": \"GpmRound\", \"span\": {}, \
+                 \"round\": 14, \"budget_w\": 64.000000, \"actual_w\": 61.500000, \
+                 \"islands\": 4}}",
+                round.raw()
+            )
+        );
+        let act = crate::SpanId::actuation(14, 2, 7);
+        let line = event_to_jsonl(&at(
+            11,
+            0.0735,
+            EventPayload::Actuation {
+                span: act.raw(),
+                parent: act.parent().unwrap().raw(),
+                island: 2,
+                from_dvfs: 5,
+                requested_dvfs: 7,
+                to_dvfs: 6,
+                granted: false,
+            },
+        ));
+        assert_eq!(
+            line,
+            format!(
+                "{{\"seq\": 11, \"t\": 0.073500, \"kind\": \"Actuation\", \"span\": {}, \
+                 \"parent\": {}, \"island\": 2, \"from_dvfs\": 5, \"requested_dvfs\": 7, \
+                 \"to_dvfs\": 6, \"granted\": false}}",
+                act.raw(),
+                act.parent().unwrap().raw()
+            )
+        );
+    }
+
+    #[test]
+    fn chip_wide_alarm_omits_island_targeted_alarm_keeps_it() {
+        let chip_wide = event_to_jsonl(&at(
+            5,
+            0.05,
+            EventPayload::Alarm {
+                monitor: "budget-overshoot",
+                island: u32::MAX,
+                round: 9,
+                value: 0.081,
+                threshold: 0.05,
+            },
+        ));
+        assert_eq!(
+            chip_wide,
+            "{\"seq\": 5, \"t\": 0.050000, \"kind\": \"Alarm\", \
+             \"monitor\": \"budget-overshoot\", \"round\": 9, \"value\": 0.081000, \
+             \"threshold\": 0.050000}"
+        );
+        let targeted = event_to_jsonl(&at(
+            6,
+            0.05,
+            EventPayload::Alarm {
+                monitor: "stale-sensor",
+                island: 3,
+                round: 9,
+                value: 8.0,
+                threshold: 6.0,
+            },
+        ));
+        assert!(targeted.contains("\"island\": 3"), "{targeted}");
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //! * **Digests** ([`digest`]) — FNV-1a 64 fingerprints of rendered JSONL
 //!   traces, the currency of the scenario harness's committed golden
 //!   trajectories.
+//! * **Causal spans** ([`span`]) — structural [`SpanId`]s linking
+//!   `GpmRound` → `PicDecision` → `Actuation` events into a walkable
+//!   cause tree, plus the [`PhaseProfiler`] seam for wall-clock
+//!   self-profiling of the control loop.
+//! * **SLO watchdog** ([`slo`]) — streaming tracking-error /
+//!   budget-overshoot / actuator-churn / stale-sensor monitors over the
+//!   event stream, deterministic [`EventPayload::Alarm`] emission, and a
+//!   one-page [`HealthReport`].
+//! * **Chrome export** ([`chrome`]) — `trace_event` JSON rendering of any
+//!   trajectory, ready for Perfetto.
 //!
 //! The intended wiring: components hold a cheaply clonable [`Recorder`]
 //! handle (disabled by default — one branch per call site) and
@@ -25,14 +35,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod digest;
 pub mod event;
 pub mod export;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
+pub mod span;
 
+pub use chrome::{events_to_chrome, validate_chrome_trace};
 pub use digest::{digest_events, digest_str, fnv1a64, format_digest, Fnv1a64};
 pub use event::{Event, EventKind, EventPayload, ThermalSource};
 pub use export::{event_to_jsonl, events_to_jsonl, write_jsonl, CsvSeries};
 pub use recorder::{FlightRecorder, Recorder};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use slo::{
+    append_alarm_events, scan, HealthReport, MonitorHealth, SloAlarm, SloMonitor, SloPolicy,
+    SloWatchdog,
+};
+pub use span::{ControlPhase, PhaseProfiler, SpanId, SpanKind};

@@ -1,0 +1,255 @@
+//! Causal spans: stable, derivable identifiers for control decisions.
+//!
+//! The control stack emits three provenance-carrying event kinds per GPM
+//! round — [`EventPayload::GpmRound`] → per-island
+//! [`EventPayload::PicDecision`] → [`EventPayload::Actuation`] — and each
+//! carries a [`SpanId`] plus its parent's, so a drained trajectory is a
+//! walkable cause tree: *why did island 2 get 18 W in round 14* is
+//! answered by following `Actuation.parent` to the PIC decision (PID
+//! terms, sensed power, target) and `PicDecision.parent` to the GPM
+//! round (budget in force, chip draw).
+//!
+//! Span ids are **structural**, not allocated: a span is a pure function
+//! of `(kind, round, island, step)`, packed into a `u64`. Two runs of
+//! the same configuration therefore assign identical ids (the byte-
+//! determinism contract extends to provenance), and an id can be decoded
+//! back into its coordinates without any side table.
+//!
+//! Layout (most- to least-significant): 4 tag bits, 28 round bits,
+//! 12 island bits, 20 step bits. Values beyond a field's width saturate
+//! rather than alias — far outside any realistic run (2^28 GPM rounds is
+//! ~15 days of simulated time at 5 ms per round).
+//!
+//! [`EventPayload::GpmRound`]: crate::event::EventPayload::GpmRound
+//! [`EventPayload::PicDecision`]: crate::event::EventPayload::PicDecision
+//! [`EventPayload::Actuation`]: crate::event::EventPayload::Actuation
+
+const TAG_SHIFT: u32 = 60;
+const ROUND_SHIFT: u32 = 32;
+const ISLAND_SHIFT: u32 = 20;
+const ROUND_MAX: u64 = (1 << 28) - 1;
+const ISLAND_MAX: u64 = (1 << 12) - 1;
+const STEP_MAX: u64 = (1 << 20) - 1;
+
+const TAG_GPM_ROUND: u64 = 1;
+const TAG_PIC_DECISION: u64 = 2;
+const TAG_ACTUATION: u64 = 3;
+
+/// Which decision a [`SpanId`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One GPM provisioning round (the root of a round's cause tree).
+    GpmRound,
+    /// One PIC control invocation within a round.
+    PicDecision,
+    /// One DVFS knob application.
+    Actuation,
+}
+
+impl SpanKind {
+    /// Stable identifier used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::GpmRound => "gpm-round",
+            SpanKind::PicDecision => "pic-decision",
+            SpanKind::Actuation => "actuation",
+        }
+    }
+}
+
+/// A stable, structurally derived span identifier (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The root span of one GPM provisioning round.
+    pub fn gpm_round(round: u64) -> Self {
+        Self(TAG_GPM_ROUND << TAG_SHIFT | round.min(ROUND_MAX) << ROUND_SHIFT)
+    }
+
+    /// One PIC invocation: `step` is the PIC interval ordinal within the
+    /// round (`0..pics_per_gpm`).
+    pub fn pic_decision(round: u64, island: u32, step: u32) -> Self {
+        Self(
+            TAG_PIC_DECISION << TAG_SHIFT
+                | round.min(ROUND_MAX) << ROUND_SHIFT
+                | (island as u64).min(ISLAND_MAX) << ISLAND_SHIFT
+                | (step as u64).min(STEP_MAX),
+        )
+    }
+
+    /// One DVFS knob application, child of the same-coordinate
+    /// [`SpanId::pic_decision`] (or of the round span for schemes that
+    /// actuate without a PIC, e.g. MaxBIPS — see [`SpanId::parent`]).
+    pub fn actuation(round: u64, island: u32, step: u32) -> Self {
+        Self(
+            TAG_ACTUATION << TAG_SHIFT
+                | round.min(ROUND_MAX) << ROUND_SHIFT
+                | (island as u64).min(ISLAND_MAX) << ISLAND_SHIFT
+                | (step as u64).min(STEP_MAX),
+        )
+    }
+
+    /// The raw packed id (what event payloads carry).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a raw id recorded in an event payload. `None` when the
+    /// value carries no known tag.
+    pub fn decode(raw: u64) -> Option<Self> {
+        match raw >> TAG_SHIFT {
+            TAG_GPM_ROUND | TAG_PIC_DECISION | TAG_ACTUATION => Some(Self(raw)),
+            _ => None,
+        }
+    }
+
+    /// The span's kind.
+    pub fn kind(self) -> SpanKind {
+        match self.0 >> TAG_SHIFT {
+            TAG_GPM_ROUND => SpanKind::GpmRound,
+            TAG_PIC_DECISION => SpanKind::PicDecision,
+            _ => SpanKind::Actuation,
+        }
+    }
+
+    /// The GPM round this span belongs to.
+    pub fn round(self) -> u64 {
+        (self.0 >> ROUND_SHIFT) & ROUND_MAX
+    }
+
+    /// The island coordinate (`None` for round spans, which are
+    /// chip-wide).
+    pub fn island(self) -> Option<u32> {
+        match self.kind() {
+            SpanKind::GpmRound => None,
+            _ => Some(((self.0 >> ISLAND_SHIFT) & ISLAND_MAX) as u32),
+        }
+    }
+
+    /// The PIC interval ordinal within the round (`None` for round
+    /// spans).
+    pub fn step(self) -> Option<u32> {
+        match self.kind() {
+            SpanKind::GpmRound => None,
+            _ => Some((self.0 & STEP_MAX) as u32),
+        }
+    }
+
+    /// The parent span in the cause tree: an actuation's PIC decision, a
+    /// PIC decision's GPM round, `None` at the root.
+    pub fn parent(self) -> Option<SpanId> {
+        match self.kind() {
+            SpanKind::GpmRound => None,
+            SpanKind::PicDecision => Some(Self::gpm_round(self.round())),
+            SpanKind::Actuation => Some(Self::pic_decision(
+                self.round(),
+                self.island().unwrap_or(0),
+                self.step().unwrap_or(0),
+            )),
+        }
+    }
+}
+
+/// A control-loop phase, for wall-clock self-profiling of the
+/// coordinator's sense → decide → actuate cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPhase {
+    /// Stepping the chip and reading sensors/accumulators.
+    Sense,
+    /// Tier-1 provisioning and tier-2 PID computation.
+    Decide,
+    /// Applying DVFS moves to the chip.
+    Actuate,
+}
+
+impl ControlPhase {
+    /// Stable identifier used in registry metric names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ControlPhase::Sense => "sense",
+            ControlPhase::Decide => "decide",
+            ControlPhase::Actuate => "actuate",
+        }
+    }
+}
+
+/// Wall-clock self-profiling seam for the control loop.
+///
+/// `cpm-obs` defines only the trait — it never reads a clock itself (the
+/// workspace's timing lint confines `Instant` to the bench/runtime
+/// crates). The coordinator calls `enter`/`exit` around each phase when a
+/// profiler is attached; the bench crate supplies the `Instant`-backed
+/// implementation and publishes the totals through the metrics registry.
+/// Wall-clock figures never enter recorded events, so byte-diffed
+/// artifacts stay deterministic.
+pub trait PhaseProfiler {
+    /// A phase begins.
+    fn enter(&mut self, phase: ControlPhase);
+    /// The matching phase ends.
+    fn exit(&mut self, phase: ControlPhase);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_round_trip_their_coordinates() {
+        let s = SpanId::pic_decision(14, 2, 7);
+        assert_eq!(s.kind(), SpanKind::PicDecision);
+        assert_eq!(s.round(), 14);
+        assert_eq!(s.island(), Some(2));
+        assert_eq!(s.step(), Some(7));
+        assert_eq!(SpanId::decode(s.raw()), Some(s));
+    }
+
+    #[test]
+    fn parent_chain_walks_actuation_to_round() {
+        let act = SpanId::actuation(14, 2, 7);
+        let pic = act.parent().expect("actuation has a parent");
+        assert_eq!(pic, SpanId::pic_decision(14, 2, 7));
+        let round = pic.parent().expect("decision has a parent");
+        assert_eq!(round, SpanId::gpm_round(14));
+        assert_eq!(round.parent(), None);
+        assert_eq!(round.island(), None);
+        assert_eq!(round.step(), None);
+    }
+
+    #[test]
+    fn ids_are_unique_across_coordinates() {
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..4u64 {
+            assert!(seen.insert(SpanId::gpm_round(round).raw()));
+            for island in 0..4u32 {
+                for step in 0..4u32 {
+                    assert!(seen.insert(SpanId::pic_decision(round, island, step).raw()));
+                    assert!(seen.insert(SpanId::actuation(round, island, step).raw()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_coordinates_saturate() {
+        let s = SpanId::pic_decision(u64::MAX, u32::MAX, u32::MAX);
+        assert_eq!(s.round(), (1 << 28) - 1);
+        assert_eq!(s.island(), Some((1 << 12) - 1));
+        assert_eq!(s.step(), Some((1 << 20) - 1));
+    }
+
+    #[test]
+    fn decode_rejects_untagged_values() {
+        assert_eq!(SpanId::decode(0), None);
+        assert_eq!(SpanId::decode(42), None);
+        assert_eq!(SpanId::decode(u64::MAX), None);
+    }
+
+    #[test]
+    fn phases_have_stable_names() {
+        assert_eq!(ControlPhase::Sense.as_str(), "sense");
+        assert_eq!(ControlPhase::Decide.as_str(), "decide");
+        assert_eq!(ControlPhase::Actuate.as_str(), "actuate");
+        assert_eq!(SpanKind::GpmRound.as_str(), "gpm-round");
+    }
+}

@@ -1,0 +1,194 @@
+//! Exporter edge cases and the pinned Chrome-trace fixture.
+//!
+//! The unit tests in `export.rs`/`chrome.rs` pin individual event lines;
+//! this suite covers the degenerate inputs the renderers must survive
+//! (empty streams, single rows, ring-buffer truncation) and pins one
+//! full Chrome `trace_event` document byte-for-byte, so any change to
+//! the envelope, metadata ordering, or per-event field order shows up as
+//! a fixture diff rather than a silently re-shaped artifact.
+
+use cpm_obs::{
+    events_to_chrome, events_to_jsonl, validate_chrome_trace, CsvSeries, Event, EventPayload,
+    Recorder, SpanId,
+};
+
+#[test]
+fn empty_event_stream_renders_empty_jsonl() {
+    assert_eq!(events_to_jsonl(&[]), "");
+}
+
+#[test]
+fn single_event_jsonl_is_one_terminated_line() {
+    let rec = Recorder::enabled(8);
+    rec.set_time(0.0025);
+    rec.record(EventPayload::TransducerRezero {
+        island: 1,
+        residual_w: 0.125,
+        offset_w: 0.0,
+    });
+    let jsonl = events_to_jsonl(&rec.drain());
+    assert_eq!(jsonl.lines().count(), 1);
+    assert!(jsonl.ends_with('\n'), "JSONL lines must be terminated");
+    assert!(jsonl.contains("\"seq\": 0"));
+    assert!(jsonl.contains("\"kind\": \"TransducerRezero\""));
+}
+
+#[test]
+fn overflow_truncated_stream_still_renders_and_reports_drops() {
+    // Capacity 4 in a single shard, 12 events: the ring keeps the newest
+    // 4 and counts the rest as dropped; the JSONL must render the
+    // survivors with their original (not renumbered) sequence numbers.
+    let rec = Recorder::with_shards(4, 1);
+    for i in 0..12u32 {
+        rec.record(EventPayload::TransducerRezero {
+            island: i,
+            residual_w: f64::from(i),
+            offset_w: 0.0,
+        });
+    }
+    assert_eq!(rec.dropped(), 8);
+    let events = rec.drain();
+    assert_eq!(events.len(), 4);
+    let jsonl = events_to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), 4);
+    assert!(jsonl.contains("\"seq\": 8"), "oldest survivor:\n{jsonl}");
+    assert!(jsonl.contains("\"seq\": 11"), "newest survivor:\n{jsonl}");
+    assert!(
+        !jsonl.contains("\"seq\": 7"),
+        "dropped event leaked:\n{jsonl}"
+    );
+    // The truncated stream is still a valid Chrome trace.
+    validate_chrome_trace(&events_to_chrome(&events)).expect("truncated trace validates");
+}
+
+#[test]
+fn empty_csv_is_header_only_and_single_row_has_one_record() {
+    let mut csv = CsvSeries::new(["t_s", "power_w"]);
+    assert!(csv.is_empty());
+    let header_only = csv.to_csv();
+    assert_eq!(header_only.lines().count(), 1);
+    assert_eq!(header_only.lines().next().unwrap(), "t_s,power_w");
+    csv.push_row([0.0005, 97.25]);
+    assert_eq!(csv.len(), 1);
+    let one = csv.to_csv();
+    assert_eq!(one.lines().count(), 2);
+    assert!(one.ends_with('\n'));
+}
+
+#[test]
+fn empty_event_stream_is_a_valid_chrome_trace() {
+    let doc = events_to_chrome(&[]);
+    validate_chrome_trace(&doc).expect("empty trace validates");
+    assert!(doc.contains("\"name\": \"process_name\""));
+}
+
+/// The pinned fixture: one event of each family the Chrome exporter
+/// renders distinctly (round instant, allocation counter, decision and
+/// actuation instants, worker span, chip-wide alarm). Byte-equality pins
+/// the envelope, the metadata block, lane assignment, µs timestamps, and
+/// per-event field order all at once.
+#[test]
+fn chrome_trace_matches_the_pinned_fixture() {
+    let g = SpanId::gpm_round(1);
+    let p = SpanId::pic_decision(1, 0, 0);
+    let a = SpanId::actuation(1, 0, 0);
+    let events = vec![
+        Event {
+            seq: 0,
+            time_s: 0.005,
+            payload: EventPayload::GpmRound {
+                span: g.raw(),
+                round: 1,
+                budget_w: 100.0,
+                actual_w: 97.25,
+                islands: 2,
+            },
+        },
+        Event {
+            seq: 1,
+            time_s: 0.005,
+            payload: EventPayload::GpmAllocation {
+                round: 1,
+                island: 0,
+                allocated_w: 50.0,
+                actual_w: 48.5,
+                budget_w: 100.0,
+            },
+        },
+        Event {
+            seq: 2,
+            time_s: 0.0055,
+            payload: EventPayload::PicDecision {
+                span: p.raw(),
+                parent: g.raw(),
+                round: 1,
+                step: 0,
+                island: 0,
+                sensed_w: 48.5,
+                utilization: 0.75,
+                target_w: 50.0,
+                error: 0.03,
+                p_term: 0.015,
+                i_term: 0.01,
+                d_term: 0.005,
+                output: 0.03,
+                dvfs_index: 5,
+                saturated: false,
+            },
+        },
+        Event {
+            seq: 3,
+            time_s: 0.0055,
+            payload: EventPayload::Actuation {
+                span: a.raw(),
+                parent: p.raw(),
+                island: 0,
+                from_dvfs: 4,
+                requested_dvfs: 5,
+                to_dvfs: 5,
+                granted: true,
+            },
+        },
+        Event {
+            seq: 4,
+            time_s: 0.0100,
+            payload: EventPayload::WorkerSpan {
+                worker: 0,
+                label: "scenario",
+                start_s: 0.0,
+                end_s: 0.01,
+            },
+        },
+        Event {
+            seq: 5,
+            time_s: 0.0105,
+            payload: EventPayload::Alarm {
+                monitor: "budget-overshoot",
+                island: u32::MAX,
+                round: 1,
+                value: 0.15,
+                threshold: 0.10,
+            },
+        },
+    ];
+    let doc = events_to_chrome(&events);
+    validate_chrome_trace(&doc).expect("fixture validates");
+    let expected = concat!(
+        "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n",
+        "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": \"cpm-chip\"}},\n",
+        "{\"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": \"thread_name\", \"args\": {\"name\": \"gpm\"}},\n",
+        "{\"ph\": \"M\", \"pid\": 0, \"tid\": 1, \"name\": \"thread_name\", \"args\": {\"name\": \"island0\"}},\n",
+        "{\"ph\": \"M\", \"pid\": 0, \"tid\": 1000, \"name\": \"thread_name\", \"args\": {\"name\": \"worker0\"}},\n",
+        "{\"ph\": \"i\", \"pid\": 0, \"tid\": 0, \"ts\": 5000.000, \"s\": \"p\", \"name\": \"GpmRound\", \"args\": {\"span\": 1152921508901814272, \"round\": 1, \"budget_w\": 100.000000, \"actual_w\": 97.250000, \"islands\": 2}},\n",
+        "{\"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": 5000.000, \"name\": \"island0 power_w\", \"args\": {\"allocated\": 50.000000, \"actual\": 48.500000, \"round\": 1}},\n",
+        "{\"ph\": \"i\", \"pid\": 0, \"tid\": 1, \"ts\": 5500.000, \"s\": \"t\", \"name\": \"PicDecision\", \"args\": {\"span\": 2305843013508661248, \"parent\": 1152921508901814272, \"round\": 1, \"step\": 0, \"island\": 0, \"sensed_w\": 48.500000, \"target_w\": 50.000000, \"error\": 0.030000, \"output\": 0.030000, \"dvfs\": 5}},\n",
+        "{\"ph\": \"i\", \"pid\": 0, \"tid\": 1, \"ts\": 5500.000, \"s\": \"t\", \"name\": \"Actuation\", \"args\": {\"span\": 3458764518115508224, \"parent\": 2305843013508661248, \"island\": 0, \"from\": 4, \"requested\": 5, \"to\": 5, \"granted\": true}},\n",
+        "{\"ph\": \"X\", \"pid\": 0, \"tid\": 1000, \"ts\": 0.000, \"dur\": 10000.000, \"name\": \"scenario\", \"args\": {\"seq\": 4}},\n",
+        "{\"ph\": \"i\", \"pid\": 0, \"tid\": 0, \"ts\": 10500.000, \"s\": \"g\", \"name\": \"Alarm budget-overshoot\", \"args\": {\"round\": 1, \"value\": 0.150000, \"threshold\": 0.100000}}\n",
+        "]}\n",
+    );
+    assert_eq!(
+        doc, expected,
+        "Chrome exporter drifted from the pinned fixture"
+    );
+}

@@ -7,14 +7,20 @@
 //! management stack absorbed the fault.
 //!
 //! [`run_scenario`] executes one scenario with a flight recorder
-//! attached and returns the full rendered trajectory, its digest, the
-//! block-level [`GoldenDoc`] fingerprint, and the evaluated checks.
-//! Running the same scenario twice yields byte-identical JSONL — that
-//! property is itself gated by the tier-1 tests.
+//! attached, runs the SLO watchdog over the drained trajectory (the
+//! resulting `Alarm` events are appended to the stream, so goldens pin
+//! them too), and returns the full rendered trajectory, its digest, the
+//! block-level [`GoldenDoc`] fingerprint, the evaluated checks, and the
+//! health/Chrome artifacts. Running the same scenario twice yields
+//! byte-identical JSONL — that property is itself gated by the tier-1
+//! tests.
 
 use cpm_core::coordinator::PolicyKind;
 use cpm_core::{ExperimentConfig, ManagementScheme, Outcome, ThermalConstraints};
-use cpm_obs::{digest_str, events_to_jsonl, Event, EventKind, Recorder};
+use cpm_obs::{
+    append_alarm_events, digest_str, events_to_chrome, events_to_jsonl, Event, EventKind,
+    HealthReport, Recorder, SloPolicy,
+};
 use cpm_units::IslandId;
 use cpm_workloads::Mix;
 
@@ -70,6 +76,12 @@ pub struct ScenarioRun {
     pub budget_percent: f64,
     /// Mean chip power over the run, percent of the reference.
     pub mean_power_percent: f64,
+    /// SLO watchdog alarms raised over the trajectory.
+    pub alarms: usize,
+    /// One-page health report (`cpm-health-v1` JSON).
+    pub health_json: String,
+    /// Chrome `trace_event` rendering of the trajectory (Perfetto-ready).
+    pub chrome_json: String,
 }
 
 impl ScenarioRun {
@@ -89,7 +101,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
     schedule.set_recorder(recorder.clone());
     coordinator.set_injection(Box::new(schedule));
     let outcome = coordinator.run_for_gpm_intervals(SCENARIO_ROUNDS);
-    let events = recorder.drain();
+    let mut events = recorder.drain();
     if recorder.dropped() > 0 {
         return Err(format!(
             "{}: recorder dropped {} events — raise RECORDER_CAPACITY",
@@ -97,19 +109,28 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
             recorder.dropped()
         ));
     }
+    // SLO watchdog pass: the alarms are appended to the stream itself,
+    // so goldens pin them and behavioral checks can consume them.
+    let policy = SloPolicy::default();
+    let slo_alarms = cpm_obs::slo::scan(&events, policy);
+    append_alarm_events(&mut events, &slo_alarms);
     let jsonl = events_to_jsonl(&events);
     let digest = digest_str(&jsonl);
     let golden = GoldenDoc::from_jsonl(scenario.name, &jsonl);
     let checks = (scenario.checks)(&outcome, &events);
+    let health = HealthReport::new(scenario.name, &events, &slo_alarms, &policy);
     Ok(ScenarioRun {
         name: scenario.name,
         events: events.len(),
+        chrome_json: events_to_chrome(&events),
         jsonl,
         digest,
         golden,
         checks,
         budget_percent: outcome.budget_percent(),
         mean_power_percent: outcome.chip_power_percent_gpm().mean().unwrap_or(0.0),
+        alarms: slo_alarms.len(),
+        health_json: health.to_json(),
     })
 }
 
@@ -221,8 +242,11 @@ fn checks_baseline(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
     vec![
         checks::tracks_at_end(o, 4, 3.0),
         checks::overshoot_bounded(o, 0.15),
-        checks::has_kind(e, EventKind::PicStep, "has-pic-steps"),
+        checks::has_kind(e, EventKind::PicDecision, "has-pic-decisions"),
         checks::has_kind(e, EventKind::GpmAllocation, "has-gpm-allocations"),
+        checks::has_kind(e, EventKind::GpmRound, "has-gpm-rounds"),
+        checks::has_kind(e, EventKind::Actuation, "has-actuations"),
+        checks::no_alarms(e),
     ]
 }
 
@@ -238,6 +262,9 @@ fn checks_sensor_dropout(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
     vec![
         checks::tracks_at_end(o, 4, 4.0),
         checks::injection_edges(e, "sensor-dropout", 2),
+        // The frozen transducer repeats bit-identical readings: the
+        // watchdog's stale-sensor monitor must see it.
+        checks::alarms_at_least(e, "stale-sensor", 1),
     ]
 }
 
@@ -254,6 +281,9 @@ fn checks_stuck_knob_maxbips(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
         checks::knob_frozen(o, 2, 6, 16),
         checks::overshoot_bounded(o, 0.25),
         checks::injection_edges(e, "stuck-actuator", 2),
+        // Open-loop MaxBIPS cannot compensate the stuck island, so the
+        // chip blows through the budget and the watchdog must say so.
+        checks::alarms_at_least(e, "budget-overshoot", 1),
     ]
 }
 
@@ -261,6 +291,9 @@ fn checks_slow_knob(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
     vec![
         checks::tracks_at_end(o, 4, 5.0),
         checks::injection_edges(e, "slow-actuator", 2),
+        // The lagging knob overcorrects in multi-step swings — exactly
+        // the flapping signature actuator-churn exists to catch.
+        checks::alarms_at_least(e, "actuator-churn", 1),
     ]
 }
 
@@ -285,6 +318,9 @@ fn checks_budget_step_thermal(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
         checks::window_mean_below(o, 20, 24, o.budget_percent() + 2.0, "end-respects-budget"),
         checks::dip_reduces_power(o, 10, 16, 20, 24, 2.0),
         checks::injection_edges(e, "budget-step", 2),
+        // Thermal caps pin hot islands below their shares through the
+        // dip — sustained tracking error the watchdog must flag.
+        checks::alarms_at_least(e, "tracking-error", 1),
     ]
 }
 
@@ -294,6 +330,9 @@ fn checks_controller_failure(o: &Outcome, e: &[Event]) -> Vec<ScenarioCheck> {
         checks::knob_frozen(o, 3, 6, 18),
         checks::tracks_at_end(o, 4, 5.0),
         checks::injection_edges(e, "controller-failure", 2),
+        // The dead PIC reports nothing for whole rounds: the watchdog's
+        // silent-island detection must raise stale-sensor.
+        checks::alarms_at_least(e, "stale-sensor", 1),
     ]
 }
 

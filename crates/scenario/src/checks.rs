@@ -231,6 +231,35 @@ pub fn has_kind(events: &[Event], kind: EventKind, name: &'static str) -> Scenar
     ScenarioCheck::new(name, n > 0, format!("{n} {} events", kind.as_str()))
 }
 
+/// Number of SLO alarms from `monitor` in the stream (all monitors when
+/// `None`).
+pub fn alarm_count(events: &[Event], monitor: Option<&str>) -> usize {
+    events
+        .iter()
+        .filter(|e| match &e.payload {
+            EventPayload::Alarm { monitor: m, .. } => monitor.map_or(true, |want| *m == want),
+            _ => false,
+        })
+        .count()
+}
+
+/// The watchdog stayed quiet: no alarm events at all.
+pub fn no_alarms(events: &[Event]) -> ScenarioCheck {
+    let n = alarm_count(events, None);
+    ScenarioCheck::new("no-alarms", n == 0, format!("{n} alarm events"))
+}
+
+/// The named monitor tripped at least `min` times — a fault the watchdog
+/// is designed to see must actually raise its alarm.
+pub fn alarms_at_least(events: &[Event], monitor: &'static str, min: usize) -> ScenarioCheck {
+    let n = alarm_count(events, Some(monitor));
+    ScenarioCheck::new(
+        "alarms-at-least",
+        n >= min,
+        format!("{n} {monitor} alarms (expected >= {min})"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +283,32 @@ mod tests {
         assert!(injection_edges(&events, "budget-step", 2).passed);
         assert!(!injection_edges(&events, "sensor-noise", 2).passed);
         assert!(has_kind(&events, EventKind::Injection, "has-injection").passed);
-        assert!(!has_kind(&events, EventKind::PicStep, "has-pic").passed);
+        assert!(!has_kind(&events, EventKind::PicDecision, "has-pic").passed);
+    }
+
+    #[test]
+    fn alarm_checks_count_by_monitor() {
+        let rec = cpm_obs::Recorder::enabled(16);
+        rec.record(EventPayload::Alarm {
+            monitor: "tracking-error",
+            island: 1,
+            round: 7,
+            value: 0.4,
+            threshold: 0.25,
+        });
+        rec.record(EventPayload::Alarm {
+            monitor: "stale-sensor",
+            island: 1,
+            round: 8,
+            value: 6.0,
+            threshold: 6.0,
+        });
+        let events = rec.drain();
+        assert_eq!(alarm_count(&events, None), 2);
+        assert_eq!(alarm_count(&events, Some("stale-sensor")), 1);
+        assert!(!no_alarms(&events).passed);
+        assert!(alarms_at_least(&events, "tracking-error", 1).passed);
+        assert!(!alarms_at_least(&events, "actuator-churn", 1).passed);
+        assert!(no_alarms(&[]).passed);
     }
 }

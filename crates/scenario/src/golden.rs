@@ -294,7 +294,7 @@ mod tests {
     fn jsonl(n: usize) -> String {
         let mut s = String::new();
         for i in 0..n {
-            s.push_str(&format!("{{\"seq\": {i}, \"kind\": \"PicStep\"}}\n"));
+            s.push_str(&format!("{{\"seq\": {i}, \"kind\": \"PicDecision\"}}\n"));
         }
         s
     }

@@ -40,10 +40,10 @@ fn a_perturbed_replay_is_reported_as_nondeterminism() {
     let scenario = find("sensor-dropout@pid").expect("catalogue entry");
     let run = run_scenario(scenario).expect("run");
     // Simulate a replay that splits from the first run at one event.
-    let perturbed = run
-        .jsonl
-        .replacen("\"kind\": \"PicStep\"", "\"kind\": \"PicStep!\"", 1);
+    let perturbed =
+        run.jsonl
+            .replacen("\"kind\": \"PicDecision\"", "\"kind\": \"PicDecision!\"", 1);
     let report = differential_report(&run.golden, &run.jsonl, &perturbed);
     assert!(report.contains("NONDETERMINISM"));
-    assert!(report.contains("PicStep!"));
+    assert!(report.contains("PicDecision!"));
 }

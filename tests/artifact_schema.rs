@@ -39,6 +39,18 @@ fn scenarios_artifact_passes_its_schema_gate() {
     // renderer — the exact document `experiments scenarios` writes.
     let suite = run_scenario_suite(BTreeMap::new(), true).expect("suite runs");
     assert_clean(ArtifactKind::Scenarios, &scenarios_json(&suite));
+    // Every per-scenario health report must satisfy the HEALTH_*.json
+    // gate too — these are the exact documents the binary writes.
+    for report in &suite.reports {
+        assert_clean(ArtifactKind::Health, &report.health_json);
+    }
+}
+
+#[test]
+fn health_artifact_passes_its_schema_gate() {
+    let policy = cpm_obs::SloPolicy::default();
+    let report = cpm_obs::HealthReport::new("pid@80", &[], &[], &policy);
+    assert_clean(ArtifactKind::Health, &report.to_json());
 }
 
 #[test]
@@ -128,6 +140,7 @@ fn schema_tables_reject_truncated_artifacts() {
         ArtifactKind::Perf,
         ArtifactKind::Scaling,
         ArtifactKind::Scenarios,
+        ArtifactKind::Health,
     ] {
         assert!(
             !check_schema(kind, "{}").is_empty(),

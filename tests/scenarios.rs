@@ -120,9 +120,10 @@ fn a_perturbed_run_produces_a_divergence_report_naming_the_first_event() {
     let reference = run_scenario(scenario).expect("reference run");
     // …checked against a deliberately perturbed trajectory (one event
     // label rewritten — the smallest possible behavioral change).
-    let perturbed = reference
-        .jsonl
-        .replacen("\"kind\": \"PicStep\"", "\"kind\": \"PicStepX\"", 1);
+    let perturbed =
+        reference
+            .jsonl
+            .replacen("\"kind\": \"PicDecision\"", "\"kind\": \"PicDecisionX\"", 1);
     assert_ne!(
         reference.jsonl, perturbed,
         "perturbation must change the stream"

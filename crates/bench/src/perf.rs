@@ -96,6 +96,32 @@ pub fn run_perf(quick: bool) -> PerfReport {
     );
 
     {
+        // The same kilocore chip with its island segments fanned out
+        // across a 4-worker pool — the throughput figure the fleet tier
+        // (ROADMAP item 1) builds on. On a single-CPU host this mostly
+        // prices the fan-out overhead; the trajectory is byte-identical
+        // to the serial target either way.
+        let profiles: Vec<_> = WorkloadAssignment::paper_mix(Mix::Mix3, 32)
+            .profiles()
+            .iter()
+            .cloned()
+            .cycle()
+            .take(1024)
+            .collect();
+        let cfg = CmpConfig::with_topology(1024, 64);
+        let assignment = WorkloadAssignment::new(profiles, 64);
+        let mut chip = Chip::new(cfg, &assignment);
+        let mut snap = ChipSnapshot::empty();
+        let pool = cpm_runtime::Pool::new(4);
+        push(
+            "chip_step_1024_sharded",
+            measure(quick, move || {
+                chip.step_pic_into_on(black_box(&mut snap), &pool)
+            }),
+        );
+    }
+
+    {
         // One PIC control-law invocation: transducer sense + PID step +
         // DVFS quantization (the per-island T_local work).
         let cfg = CmpConfig::paper_default();
@@ -142,6 +168,19 @@ pub fn run_perf(quick: bool) -> PerfReport {
         let powers = vec![Watts::new(8.0); 32];
         push(
             "thermal_step_32",
+            measure(quick, move || {
+                grid.step(black_box(&powers), Seconds::from_ms(0.5))
+            }),
+        );
+    }
+
+    // Datacenter-floorplan scales for the chunked stencil: 64×64 and
+    // 128×128 dies (4096 / 16384 nodes), per the ROADMAP item 2 targets.
+    for (name, dim) in [("thermal_step_64", 64usize), ("thermal_step_128", 128)] {
+        let mut grid = ThermalGrid::new(Floorplan::grid(dim, dim), ThermalParams::paper_default());
+        let powers = vec![Watts::new(8.0); dim * dim];
+        push(
+            name,
             measure(quick, move || {
                 grid.step(black_box(&powers), Seconds::from_ms(0.5))
             }),

@@ -41,10 +41,15 @@ pub enum RuleId {
     LockUnwrap,
     /// `#[allow(...)]` without a same-line justification comment.
     AllowJustify,
+    /// Nightly SIMD gates (`#![feature(...)]`, `std::simd`) or per-arch
+    /// `target_feature`/intrinsic escapes. The vectorized kernels are
+    /// plain lane-chunked loops LLVM autovectorizes — std-only stable
+    /// stays enforced.
+    SimdStable,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 10] = [
+pub const ALL_RULES: [RuleId; 11] = [
     RuleId::HashIteration,
     RuleId::Timing,
     RuleId::EnvRead,
@@ -55,6 +60,7 @@ pub const ALL_RULES: [RuleId; 10] = [
     RuleId::PanicBare,
     RuleId::LockUnwrap,
     RuleId::AllowJustify,
+    RuleId::SimdStable,
 ];
 
 impl RuleId {
@@ -71,6 +77,7 @@ impl RuleId {
             RuleId::PanicBare => "panic-bare",
             RuleId::LockUnwrap => "lock-unwrap",
             RuleId::AllowJustify => "allow-justify",
+            RuleId::SimdStable => "simd-stable",
         }
     }
 
@@ -555,6 +562,59 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok<'_>], raw_lines: &[&str]) -> Ve
                         .to_string(),
                 );
             }
+        }
+
+        // std-only stable: no nightly gates, no per-arch SIMD escapes.
+        // The vectorized kernels are lane-chunked loops LLVM
+        // autovectorizes portably; a `#![feature(portable_simd)]` or
+        // `#[target_feature] unsafe` shortcut would silently fork the
+        // numeric contract per architecture.
+        if t.is("#") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is("!") {
+                j += 1;
+            }
+            if seq_is(toks, j, &["[", "feature"]) {
+                push(
+                    RuleId::SimdStable,
+                    t.line,
+                    "`#![feature(...)]` nightly gate; the workspace builds std-only on stable"
+                        .to_string(),
+                );
+            }
+            if seq_is(toks, j, &["[", "target_feature"]) {
+                push(
+                    RuleId::SimdStable,
+                    t.line,
+                    "`#[target_feature(...)]` per-arch escape; lane-chunked loops must \
+                     autovectorize portably"
+                        .to_string(),
+                );
+            }
+        }
+        if (t.is("std") || t.is("core")) && seq_is(toks, i + 1, &[":", ":"]) {
+            if let Some(m) = toks.get(i + 3) {
+                if m.is("simd") || m.is("arch") {
+                    push(
+                        RuleId::SimdStable,
+                        t.line,
+                        format!(
+                            "`{}::{}` is a nightly/per-arch SIMD surface; write lane-chunked \
+                             loops the autovectorizer handles on stable",
+                            t.text, m.text
+                        ),
+                    );
+                }
+            }
+        }
+        if t.is("is_x86_feature_detected") {
+            push(
+                RuleId::SimdStable,
+                t.line,
+                "runtime feature detection forks the numeric contract per host; keep kernels \
+                 portable"
+                    .to_string(),
+            );
         }
 
         // hygiene: every allow carries a same-line justification.

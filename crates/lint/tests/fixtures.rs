@@ -31,7 +31,7 @@ fn firings(name: &str, rel_path: &str, rule: RuleId) -> Vec<usize> {
 
 /// Every rule: (rule, fire fixture, clean fixture, virtual path, expected
 /// minimum firings in the fire fixture).
-const CASES: [(&str, RuleId, &str, &str, usize); 10] = [
+const CASES: [(&str, RuleId, &str, &str, usize); 11] = [
     (
         "crates/sim/src/fx.rs",
         RuleId::HashIteration,
@@ -101,6 +101,13 @@ const CASES: [(&str, RuleId, &str, &str, usize); 10] = [
         "allow_justify_fire.rs",
         "allow_justify_clean.rs",
         1,
+    ),
+    (
+        "crates/sim/src/fx.rs",
+        RuleId::SimdStable,
+        "simd_stable_fire.rs",
+        "simd_stable_clean.rs",
+        4,
     ),
 ];
 

@@ -1,0 +1,21 @@
+//! must-not-fire: a plain lane-chunked loop with a scalar tail — the
+//! shape LLVM autovectorizes on stable, no nightly gates or per-arch
+//! intrinsics anywhere. Mentions of simd in comments are not code.
+
+const LANES: usize = 8;
+
+/// Scales a slice in fixed-width lane chunks (autovectorized) with a
+/// scalar tail.
+pub fn scale(xs: &mut [f64], k: f64) {
+    let mut base = 0;
+    while base + LANES <= xs.len() {
+        for l in 0..LANES {
+            xs[base + l] *= k;
+        }
+        base += LANES;
+    }
+    while base < xs.len() {
+        xs[base] *= k;
+        base += 1;
+    }
+}

@@ -1,0 +1,17 @@
+//! must-fire: nightly SIMD gates and per-arch escapes.
+#![feature(portable_simd)]
+
+use std::simd::f64x8;
+
+#[target_feature(enable = "avx2")]
+unsafe fn lanes_sum(x: f64x8) -> f64 {
+    x.reduce_sum()
+}
+
+pub fn pick_kernel() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+pub fn arch_path() {
+    core::arch::x86_64::_mm_pause();
+}

@@ -146,6 +146,42 @@ impl DynamicPowerModel {
         Watts::new(total)
     }
 
+    /// Lane-chunked [`Self::power_with_v2f`]: gated dynamic power for `L`
+    /// cores sharing one island's hoisted `V²·f` product, with activities
+    /// given as plain (already clamped or clampable) values.
+    ///
+    /// The unit loop is interchanged to the outside so each pass over the
+    /// lanes is elementwise (LLVM vectorizes it), but every lane's
+    /// accumulator still receives its 8 unit contributions in exactly the
+    /// order [`Self::power_with_v2f`] adds them — interchange moves work
+    /// between lanes, never reassociates within one — so `out[l]` is
+    /// bit-identical to the scalar call on lane `l`.
+    pub fn power_with_v2f_lanes<const L: usize>(
+        &self,
+        v2f: f64,
+        activities: &[f64; L],
+        out: &mut [f64; L],
+    ) {
+        let g_clock = Self::gate(1.0);
+        let mut g = [0.0; L];
+        for l in 0..L {
+            g[l] = Self::gate(activities[l]);
+        }
+        let mut total = [0.0; L];
+        for (i, c) in self.capacitance.iter().enumerate() {
+            if Unit::ALL[i] == Unit::ClockTree {
+                for t in total.iter_mut() {
+                    *t += c * g_clock * v2f;
+                }
+            } else {
+                for l in 0..L {
+                    total[l] += c * g[l] * v2f;
+                }
+            }
+        }
+        *out = total;
+    }
+
     /// Peak dynamic power at `op` (all activities = 1).
     pub fn peak_power(&self, op: OperatingPoint) -> Watts {
         self.power(op, Ratio::ONE)

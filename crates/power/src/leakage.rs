@@ -95,6 +95,45 @@ impl LeakageModel {
         self.p_nominal * (multiplier * v_term * t_term)
     }
 
+    /// Lane-chunked [`Self::power_with_v_term`]: leakage for `L` cores
+    /// sharing one island's hoisted voltage factor and variation
+    /// multiplier, with temperatures given in °C.
+    ///
+    /// Each lane evaluates the token-identical scalar expression (the
+    /// per-lane `exp` keeps this pass a scalar libm loop — it exists so
+    /// the transcendental work is *separated* from the vectorizable
+    /// arithmetic passes around it, not vectorized itself), so `out[l]`
+    /// is bit-identical to the scalar call on lane `l`.
+    pub fn power_with_v_term_lanes<const L: usize>(
+        &self,
+        v_term: f64,
+        temps_deg: &[f64; L],
+        multiplier: f64,
+        out: &mut [f64; L],
+    ) {
+        assert!(multiplier > 0.0, "variation multiplier must be positive");
+        let t_nom = self.t_nominal.value();
+        let tk0 = t_nom + 273.15;
+        let p_nom = self.p_nominal.value();
+        // Vector pass: the quadratic prefactor and the exp argument.
+        // Evaluating each into a temp is the same rounding sequence as
+        // the fused scalar expression, so the split is bit-identical —
+        // and it keeps the divides out of the serial libm pass.
+        let mut quad = [0.0; L];
+        let mut e_arg = [0.0; L];
+        for l in 0..L {
+            let tk = temps_deg[l] + 273.15;
+            quad[l] = (tk / tk0).powi(2);
+            e_arg[l] = (temps_deg[l] - t_nom) * self.beta_t;
+        }
+        // Scalar pass: `exp` stays a libm call, then the vectorizable
+        // finish.
+        for l in 0..L {
+            let t_term = quad[l] * e_arg[l].exp();
+            out[l] = p_nom * (multiplier * v_term * t_term);
+        }
+    }
+
     /// The anchor (nominal) leakage value.
     pub fn nominal_power(&self) -> Watts {
         self.p_nominal

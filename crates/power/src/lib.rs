@@ -104,6 +104,34 @@ impl CorePowerModel {
                 .power_with_v_term(terms.leak_v_term, temp, leak_mult)
     }
 
+    /// Lane-chunked [`Self::total_power_with_terms`]: total power for `L`
+    /// cores of one island (shared hoisted terms and leakage multiplier),
+    /// with activities as plain clamped values and temperatures in °C.
+    ///
+    /// Composes the dynamic lane pass
+    /// ([`DynamicPowerModel::power_with_v2f_lanes`]) with the leakage lane
+    /// pass ([`LeakageModel::power_with_v_term_lanes`]) and sums per lane
+    /// in the scalar order (dynamic + leakage), so `out[l]` is
+    /// bit-identical to the scalar call on lane `l`.
+    pub fn total_power_with_terms_lanes<const L: usize>(
+        &self,
+        terms: IslandPowerTerms,
+        activities: &[f64; L],
+        temps_deg: &[f64; L],
+        leak_mult: f64,
+        out: &mut [Watts; L],
+    ) {
+        let mut dynamic = [0.0; L];
+        self.dynamic
+            .power_with_v2f_lanes(terms.v2f, activities, &mut dynamic);
+        let mut leak = [0.0; L];
+        self.leakage
+            .power_with_v_term_lanes(terms.leak_v_term, temps_deg, leak_mult, &mut leak);
+        for l in 0..L {
+            out[l] = Watts::new(dynamic[l] + leak[l]);
+        }
+    }
+
     /// The maximum power this core can draw: top operating point, full
     /// activity, hottest plausible die temperature, given variation
     /// multiplier. This is the per-core contribution to the "maximum chip
@@ -142,6 +170,38 @@ mod tests {
         let hi_freq = m.total_power(t.point(5), Ratio::new(0.4), temp, 1.0);
         assert!(hi_act > lo);
         assert!(hi_freq > lo);
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_scalar_total_power() {
+        // The vectorizable lane pass must reproduce the scalar path to the
+        // last bit at every operating point, including out-of-range
+        // activities (the gate clamp is part of the contract).
+        let m = CorePowerModel::paper_default();
+        let table = DvfsTable::pentium_m();
+        for idx in 0..table.len() {
+            let op = table.point(idx);
+            let terms = m.island_terms(op);
+            for leak_mult in [1.0, 1.2, 2.0] {
+                let activities = [0.0, 0.17, 0.5, 0.93, 1.0, 1.4, -0.2, 0.61];
+                let temps = [45.0, 52.5, 60.0, 71.25, 85.0, 96.0, 47.3, 64.8];
+                let mut out = [Watts::ZERO; 8];
+                m.total_power_with_terms_lanes(terms, &activities, &temps, leak_mult, &mut out);
+                for l in 0..8 {
+                    let scalar = m.total_power_with_terms(
+                        terms,
+                        Ratio::new(activities[l]),
+                        Celsius::new(temps[l]),
+                        leak_mult,
+                    );
+                    assert_eq!(
+                        out[l].value().to_bits(),
+                        scalar.value().to_bits(),
+                        "lane {l} at op {idx}, mult {leak_mult}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

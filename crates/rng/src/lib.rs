@@ -41,7 +41,10 @@
 //! The [`check`] module is a small property-test harness built on these
 //! generators (the workspace's replacement for `proptest`).
 
+pub mod bank;
 pub mod check;
+
+pub use bank::XoshiroBank;
 
 /// SplitMix64 (Steele, Lea & Flood): the standard seeding generator for
 /// xoshiro-family state expansion.

@@ -6,14 +6,28 @@
 //! banks here keep every hot scalar in its own contiguous `Vec<f64>` so
 //! [`crate::chip::Chip`] steps an island as one tight loop over a segment
 //! of parallel arrays, fusing the CPI model with the per-island V²f/leakage
-//! power terms in a single pass.
+//! power terms.
 //!
-//! The contract: a [`CoreBank`] stepped segment-by-segment produces
-//! bit-identical results to the same cores stepped one
-//! [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended) at a time, and an [`IslandBank`] mirrors
-//! [`IslandState`](crate::island::IslandState)'s actuation semantics exactly. The scalar structs stay
-//! the public single-entity API; [`CoreView`] / [`IslandView`] re-expose
-//! their read accessors over the banks.
+//! A [`CoreBank`] is a list of per-island [`CoreSegment`]s. Each segment
+//! owns its island's columns outright (including its cores' phase streams
+//! and the per-core power/DRAM scratch the chip folds afterwards), so the
+//! chip stepper can move whole segments onto pool workers and restore them
+//! in island order — the sharded step reduces in exactly the serial order.
+//!
+//! Inside a segment the step runs in `LANES`-wide chunks: an elementwise
+//! CPI pass, a power pass through the lane kernels of `cpm-power`, and a
+//! serial fold, with a scalar tail for the remainder. Chunking never
+//! reassociates: the elementwise passes evaluate token-identical
+//! expressions per lane, and every accumulator (island totals, the
+//! chip-order DRAM sum) still receives its additions in the original core
+//! order — so the contract from PR 4 holds unchanged: a [`CoreBank`]
+//! stepped island-by-island is bit-identical to the same cores stepped one
+//! [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended)
+//! at a time, and an [`IslandBank`] mirrors
+//! [`IslandState`](crate::island::IslandState)'s actuation semantics
+//! exactly. The scalar structs stay the public single-entity API;
+//! [`CoreView`] / [`IslandView`] re-expose their read accessors over the
+//! banks.
 
 use cpm_power::dvfs::DvfsTable;
 use cpm_power::{CorePowerModel, IslandPowerTerms};
@@ -21,7 +35,12 @@ use cpm_units::{Celsius, CoreId, Hertz, IslandId, Ratio, Seconds, Watts};
 use cpm_workloads::{BenchmarkProfile, PhaseBank};
 use std::ops::Range;
 
-/// Island-level aggregates of one [`CoreBank::step_segment`] call — the
+/// Chunk width of the segment step. Eight `f64`s span two AVX2 registers
+/// (or four NEON ones); the pass bodies are elementwise over arrays of
+/// this size, which is the shape LLVM's autovectorizer recognizes.
+const LANES: usize = 8;
+
+/// Island-level aggregates of one [`CoreSegment::step`] call — the
 /// quantities `Chip::step_into` folds into an `IslandSnapshot`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SegmentTotals {
@@ -33,16 +52,35 @@ pub struct SegmentTotals {
     pub instructions: f64,
 }
 
-/// All cores of a chip in structure-of-arrays form.
+/// The island-constant inputs of one segment step, hoisted once per
+/// island. All are pure functions of island-constant arguments, so
+/// computing them up front changes nothing bit-wise.
+#[derive(Clone, Copy)]
+struct StepCtx {
+    cycles: f64,
+    avail_frac: f64,
+    f_val: f64,
+    dt_val: f64,
+    dram_latency_mult: f64,
+    terms: IslandPowerTerms,
+    leak_mult: f64,
+}
+
+/// One island's cores in structure-of-arrays form.
 ///
-/// Each index holds exactly the state a [`CoreModel`](crate::core_model::CoreModel) would: the profile's
-/// hot scalars, the (possibly calibrated) miss rates, lifetime accounting,
-/// and the per-core phase sequence. The three `*_scale` arrays are scratch
-/// for the interval's phase samples, filled by
-/// [`CoreBank::advance_phases`] and consumed by
-/// [`CoreBank::step_segment`].
+/// Each index holds exactly the state a
+/// [`CoreModel`](crate::core_model::CoreModel) would: the profile's hot
+/// scalars, the (possibly calibrated) miss rates, lifetime accounting, and
+/// the per-core phase sequence. The three `*_scale` arrays are scratch for
+/// the interval's phase samples, filled by [`CoreSegment::advance_phases`]
+/// and consumed by [`CoreSegment::step`]; `core_powers` / `dram_bytes`
+/// are per-core step outputs the chip folds in core order afterwards.
+///
+/// The segment owns everything its step touches, so the chip stepper can
+/// move it onto a pool worker (`std::mem::take` + restore) without any
+/// shared mutable state.
 #[derive(Debug, Clone, Default)]
-pub struct CoreBank {
+pub struct CoreSegment {
     profiles: Vec<BenchmarkProfile>,
     base_cpi: Vec<f64>,
     activity: Vec<f64>,
@@ -54,16 +92,18 @@ pub struct CoreBank {
     cpi_scale: Vec<f64>,
     mem_scale: Vec<f64>,
     activity_scale: Vec<f64>,
+    core_powers: Vec<Watts>,
+    dram_bytes: Vec<f64>,
 }
 
-impl CoreBank {
-    /// An empty bank.
+impl CoreSegment {
+    /// An empty segment.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends the core [`CoreModel::new`](crate::core_model::CoreModel::new) would build for
-    /// `(profile, seed, stream)`.
+    /// Appends the core [`CoreModel::new`](crate::core_model::CoreModel::new)
+    /// would build for `(profile, seed, stream)`.
     pub fn push(&mut self, profile: BenchmarkProfile, seed: u64, stream: u64) {
         self.phases.push(&profile, seed, stream);
         self.base_cpi.push(profile.base_cpi);
@@ -75,23 +115,25 @@ impl CoreBank {
         self.cpi_scale.push(1.0);
         self.mem_scale.push(1.0);
         self.activity_scale.push(1.0);
+        self.core_powers.push(Watts::ZERO);
+        self.dram_bytes.push(0.0);
         self.profiles.push(profile);
     }
 
-    /// Number of cores in the bank.
+    /// Number of cores in the segment.
     pub fn len(&self) -> usize {
         self.profiles.len()
     }
 
-    /// Whether the bank holds no cores.
+    /// Whether the segment holds no cores.
     pub fn is_empty(&self) -> bool {
         self.profiles.is_empty()
     }
 
     /// Advances every core's phase sequence by `dt`, leaving the interval's
     /// samples in the scale scratch arrays. Per-core phase streams are
-    /// independent, so one chip-wide pass draws exactly the numbers the
-    /// per-core walk would.
+    /// independent, so a segment-local pass draws exactly the numbers the
+    /// per-core walk would, regardless of how segments interleave.
     pub fn advance_phases(&mut self, dt: Seconds) {
         self.phases.advance_into(
             dt,
@@ -101,22 +143,36 @@ impl CoreBank {
         );
     }
 
-    /// Steps the cores in `range` (one island's contiguous segment) through
-    /// one interval at frequency `f`, fusing the CPI model with the power
-    /// model whose island-constant `terms` the caller hoisted.
+    /// Per-core power of the last [`CoreSegment::step`], in segment-core
+    /// order — the thermal model's input for this island's slice.
+    pub fn core_powers(&self) -> &[Watts] {
+        &self.core_powers
+    }
+
+    /// Per-core DRAM traffic of the last [`CoreSegment::step`], in bytes.
+    /// Folding these in core order reproduces the array-of-structs DRAM
+    /// sum bit-for-bit (same addends, same addition order).
+    pub fn dram_bytes(&self) -> &[f64] {
+        &self.dram_bytes
+    }
+
+    /// Steps the segment through one interval at frequency `f`, fusing the
+    /// CPI model with the power model whose island-constant `terms` the
+    /// caller hoisted. `temps_deg` is this segment's slice of the die
+    /// temperatures, one per core.
     ///
-    /// Per-core power lands in `core_powers[i]`; DRAM traffic accumulates
-    /// onto `total_dram_bytes` in core order so the chip-wide sum keeps the
-    /// exact addition order of the array-of-structs walk. Every expression
-    /// matches [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended) token for token (the
-    /// island-constant `avail`/`cycles`/`avail_frac` hoists are pure
-    /// functions of island-constant inputs), so results are bit-identical.
+    /// The loop runs in `LANES`-wide chunks of three passes — an
+    /// elementwise CPI pass, the `cpm-power` lane kernels, a serial fold —
+    /// with a scalar tail identical to the unchunked body. Every per-lane
+    /// expression matches
+    /// [`CoreModel::step_contended`](crate::core_model::CoreModel::step_contended)
+    /// token for token and every accumulator still sees its additions in
+    /// core order, so results are bit-identical to the scalar walk.
     // A params struct would hide the token-for-token identity with the
     // scalar path's signature.
     #[allow(clippy::too_many_arguments)] // mirrors step_contended's params
-    pub fn step_segment(
+    pub fn step(
         &mut self,
-        range: Range<usize>,
         f: Hertz,
         dt: Seconds,
         frozen: Seconds,
@@ -125,8 +181,6 @@ impl CoreBank {
         terms: IslandPowerTerms,
         leak_mult: f64,
         temps_deg: &[f64],
-        core_powers: &mut [Watts],
-        total_dram_bytes: &mut f64,
     ) -> SegmentTotals {
         assert!(f.value() > 0.0, "core clock must be positive");
         assert!(
@@ -134,44 +188,231 @@ impl CoreBank {
             "freeze within interval"
         );
         assert!(dram_latency_mult >= 1.0, "contention can only slow memory");
+        let n = self.len();
+        assert_eq!(temps_deg.len(), n, "one temperature per segment core");
         let avail = dt - frozen;
-        let cycles = f.cycles_in(avail);
-        let avail_frac = avail.value() / dt.value();
-        let f_val = f.value();
+        let ctx = StepCtx {
+            cycles: f.cycles_in(avail),
+            avail_frac: avail.value() / dt.value(),
+            f_val: f.value(),
+            dt_val: dt.value(),
+            dram_latency_mult,
+            terms,
+            leak_mult,
+        };
         let mut totals = SegmentTotals {
             power: Watts::ZERO,
             util_sum: 0.0,
             instructions: 0.0,
         };
-        for i in range {
+        let mut base = 0;
+        while base + LANES <= n {
+            self.step_chunk(base, ctx, power_model, temps_deg, &mut totals);
+            base += LANES;
+        }
+        for i in base..n {
+            self.step_one(i, ctx, power_model, temps_deg, &mut totals);
+        }
+        totals
+    }
+
+    /// One `LANES`-wide chunk of [`CoreSegment::step`], in three passes.
+    fn step_chunk(
+        &mut self,
+        base: usize,
+        ctx: StepCtx,
+        power_model: &CorePowerModel,
+        temps_deg: &[f64],
+        totals: &mut SegmentTotals,
+    ) {
+        // Pass 1 — the CPI model, elementwise over the lanes (this is the
+        // pass LLVM vectorizes: mul/add/div and two clamps, no calls).
+        // `Ratio::new(x).clamped().value()` is `x.clamp(0.0, 1.0)` by
+        // definition, so the plain-f64 clamp is the identical operation.
+        let mut instr = [0.0; LANES];
+        let mut util = [0.0; LANES];
+        let mut act = [0.0; LANES];
+        for l in 0..LANES {
+            let i = base + l;
             let mem = self.mem_scale[i];
             let on_chip = self.base_cpi[i] * self.cpi_scale[i]
                 + self.l1_mpki[i] * mem / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
             let dram_base =
-                self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * f_val;
-            let dram = dram_base * dram_latency_mult;
+                self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * ctx.f_val;
+            let dram = dram_base * ctx.dram_latency_mult;
             let cpi = on_chip + dram;
-            let instructions = cycles / cpi;
+            let instructions = ctx.cycles / cpi;
             let busy_frac = on_chip / cpi;
-            let utilization = Ratio::new(busy_frac * avail_frac).clamped();
-            let activity =
-                Ratio::new(self.activity[i] * self.activity_scale[i] * busy_frac * avail_frac)
-                    .clamped();
+            instr[l] = instructions;
+            util[l] = (busy_frac * ctx.avail_frac).clamp(0.0, 1.0);
+            act[l] = (self.activity[i] * self.activity_scale[i] * busy_frac * ctx.avail_frac)
+                .clamp(0.0, 1.0);
             self.total_instructions[i] += instructions;
-            self.total_time[i] += dt.value();
-            *total_dram_bytes += instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
-            let p = power_model.total_power_with_terms(
-                terms,
-                activity,
-                Celsius::new(temps_deg[i]),
-                leak_mult,
-            );
-            core_powers[i] = p;
-            totals.power += p;
-            totals.util_sum += utilization.value();
-            totals.instructions += instructions;
+            self.total_time[i] += ctx.dt_val;
+            self.dram_bytes[i] = instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
         }
-        totals
+        // Pass 2 — per-lane power through the cpm-power lane kernels
+        // (vector dynamic pass, scalar-libm leakage pass; each lane
+        // bit-identical to the scalar power call by that crate's tests).
+        let temps: &[f64; LANES] = temps_deg[base..base + LANES]
+            .try_into()
+            .expect("chunk is LANES wide");
+        let mut power = [Watts::ZERO; LANES];
+        power_model.total_power_with_terms_lanes(ctx.terms, &act, temps, ctx.leak_mult, &mut power);
+        // Pass 3 — serial fold in core order: the island accumulators
+        // receive exactly the additions the unchunked loop performed, in
+        // the same order; no reassociation anywhere.
+        self.core_powers[base..base + LANES].copy_from_slice(&power);
+        for l in 0..LANES {
+            totals.power += power[l];
+            totals.util_sum += util[l];
+            totals.instructions += instr[l];
+        }
+    }
+
+    /// The scalar tail of [`CoreSegment::step`]: the original unchunked
+    /// per-core body, for the `len % LANES` remainder (and, degenerately,
+    /// whole sub-lane segments).
+    fn step_one(
+        &mut self,
+        i: usize,
+        ctx: StepCtx,
+        power_model: &CorePowerModel,
+        temps_deg: &[f64],
+        totals: &mut SegmentTotals,
+    ) {
+        let mem = self.mem_scale[i];
+        let on_chip = self.base_cpi[i] * self.cpi_scale[i]
+            + self.l1_mpki[i] * mem / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
+        let dram_base =
+            self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * ctx.f_val;
+        let dram = dram_base * ctx.dram_latency_mult;
+        let cpi = on_chip + dram;
+        let instructions = ctx.cycles / cpi;
+        let busy_frac = on_chip / cpi;
+        let utilization = Ratio::new(busy_frac * ctx.avail_frac).clamped();
+        let activity =
+            Ratio::new(self.activity[i] * self.activity_scale[i] * busy_frac * ctx.avail_frac)
+                .clamped();
+        self.total_instructions[i] += instructions;
+        self.total_time[i] += ctx.dt_val;
+        self.dram_bytes[i] = instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
+        let p = power_model.total_power_with_terms(
+            ctx.terms,
+            activity,
+            Celsius::new(temps_deg[i]),
+            ctx.leak_mult,
+        );
+        self.core_powers[i] = p;
+        totals.power += p;
+        totals.util_sum += utilization.value();
+        totals.instructions += instructions;
+    }
+}
+
+/// All cores of a chip, segmented by island.
+///
+/// Cores pushed in chip order land in `width`-sized [`CoreSegment`]s, so
+/// segment `i` is exactly island `i`'s contiguous core range and the chip
+/// stepper can hand whole segments to pool workers.
+#[derive(Debug, Clone)]
+pub struct CoreBank {
+    width: usize,
+    segments: Vec<CoreSegment>,
+}
+
+impl CoreBank {
+    /// An empty bank whose segments hold `width` cores each (the island
+    /// width).
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "an island needs at least one core");
+        Self {
+            width,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends the core [`CoreModel::new`](crate::core_model::CoreModel::new)
+    /// would build for `(profile, seed, stream)`, opening a new segment at
+    /// every island boundary.
+    pub fn push(&mut self, profile: BenchmarkProfile, seed: u64, stream: u64) {
+        if self.len() % self.width == 0 {
+            self.segments.push(CoreSegment::new());
+        }
+        let seg = self
+            .segments
+            .last_mut()
+            .expect("push opened a segment at the island boundary");
+        seg.push(profile, seed, stream);
+    }
+
+    /// Number of cores in the bank.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(CoreSegment::len).sum()
+    }
+
+    /// Whether the bank holds no cores.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Cores per segment (the island width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Island `i`'s segment.
+    pub fn segment(&self, i: usize) -> &CoreSegment {
+        &self.segments[i]
+    }
+
+    /// Mutable access to the segments, for the sharded chip step's
+    /// take/restore discipline.
+    pub(crate) fn segments_mut(&mut self) -> &mut [CoreSegment] {
+        &mut self.segments
+    }
+
+    /// Advances every core's phase sequence by `dt` (see
+    /// [`CoreSegment::advance_phases`]).
+    pub fn advance_phases(&mut self, dt: Seconds) {
+        for seg in &mut self.segments {
+            seg.advance_phases(dt);
+        }
+    }
+
+    /// Steps island `island`'s segment through one interval (see
+    /// [`CoreSegment::step`]). `temps_deg` is the whole chip's temperature
+    /// array; the island's slice is carved out here.
+    #[allow(clippy::too_many_arguments)] // mirrors step_contended's params
+    pub fn step_island(
+        &mut self,
+        island: usize,
+        f: Hertz,
+        dt: Seconds,
+        frozen: Seconds,
+        dram_latency_mult: f64,
+        power_model: &CorePowerModel,
+        terms: IslandPowerTerms,
+        leak_mult: f64,
+        temps_deg: &[f64],
+    ) -> SegmentTotals {
+        let lo = island * self.width;
+        let seg = &mut self.segments[island];
+        seg.step(
+            f,
+            dt,
+            frozen,
+            dram_latency_mult,
+            power_model,
+            terms,
+            leak_mult,
+            &temps_deg[lo..lo + seg.len()],
+        )
+    }
+
+    /// The segment and in-segment index of chip core `index`.
+    fn locate(&self, index: usize) -> (&CoreSegment, usize) {
+        (&self.segments[index / self.width], index % self.width)
     }
 }
 
@@ -275,17 +516,20 @@ impl<'a> CoreView<'a> {
 
     /// The benchmark this core runs.
     pub fn profile(&self) -> &'a BenchmarkProfile {
-        &self.bank.profiles[self.index]
+        let (seg, i) = self.bank.locate(self.index);
+        &seg.profiles[i]
     }
 
     /// Cumulative instructions retired.
     pub fn total_instructions(&self) -> f64 {
-        self.bank.total_instructions[self.index]
+        let (seg, i) = self.bank.locate(self.index);
+        seg.total_instructions[i]
     }
 
     /// Cumulative simulated time.
     pub fn total_time(&self) -> Seconds {
-        Seconds::new(self.bank.total_time[self.index])
+        let (seg, i) = self.bank.locate(self.index);
+        Seconds::new(seg.total_time[i])
     }
 }
 
@@ -334,36 +578,35 @@ mod tests {
     use crate::island::IslandState;
     use cpm_workloads::parsec;
 
-    /// The heart of the SoA contract: a bank stepped segment-at-a-time is
-    /// bit-identical to the same cores stepped one `CoreModel` at a time,
-    /// including lifetime accounting and the chip-order DRAM-byte sum.
-    #[test]
-    fn bank_matches_scalar_core_models_bitwise() {
-        let profiles: Vec<BenchmarkProfile> = parsec::all().into_iter().cycle().take(16).collect();
+    /// The heart of the SoA contract, parameterized over island width: a
+    /// bank stepped island-at-a-time is bit-identical to the same cores
+    /// stepped one `CoreModel` at a time, including lifetime accounting
+    /// and the chip-order DRAM-byte sum.
+    fn assert_bank_matches_scalars(width: usize, islands: usize, steps: usize) {
+        let n = width * islands;
+        let profiles: Vec<BenchmarkProfile> = parsec::all().into_iter().cycle().take(n).collect();
         let seed = 0xC0FFEE;
         let mut scalars: Vec<CoreModel> = profiles
             .iter()
             .enumerate()
             .map(|(c, p)| CoreModel::new(p.clone(), seed, c as u64))
             .collect();
-        let mut bank = CoreBank::new();
+        let mut bank = CoreBank::new(width);
         for (c, p) in profiles.iter().enumerate() {
             bank.push(p.clone(), seed, c as u64);
         }
         let power_model = CorePowerModel::paper_default();
         let table = DvfsTable::pentium_m();
         let dt = Seconds::from_ms(0.5);
-        let temps: Vec<f64> = (0..16).map(|i| 45.0 + i as f64 * 0.5).collect();
-        let mut core_powers = vec![Watts::ZERO; 16];
-        let width = 4;
-        for step in 0..200 {
+        let temps: Vec<f64> = (0..n).map(|i| 45.0 + i as f64 * 0.5).collect();
+        for step in 0..steps {
             // Wander the knobs: per-island operating points, occasional
             // freezes, drifting contention.
             let contention = 1.0 + (step % 5) as f64 * 0.3;
             bank.advance_phases(dt);
             let mut bank_dram = 0.0;
             let mut scalar_dram = 0.0;
-            for island in 0..4 {
+            for island in 0..islands {
                 let op = table.point((island + step) % table.len());
                 let frozen = if step % 11 == 0 {
                     dt * 0.005
@@ -372,8 +615,8 @@ mod tests {
                 };
                 let terms = power_model.island_terms(op);
                 let leak_mult = 1.0 + island as f64 * 0.1;
-                let totals = bank.step_segment(
-                    island * width..(island + 1) * width,
+                let totals = bank.step_island(
+                    island,
                     op.frequency,
                     dt,
                     frozen,
@@ -382,9 +625,11 @@ mod tests {
                     terms,
                     leak_mult,
                     &temps,
-                    &mut core_powers,
-                    &mut bank_dram,
                 );
+                let seg = bank.segment(island);
+                for &b in seg.dram_bytes() {
+                    bank_dram += b;
+                }
                 let mut power = Watts::ZERO;
                 let mut util_sum = 0.0;
                 let mut instructions = 0.0;
@@ -397,30 +642,57 @@ mod tests {
                         Celsius::new(temps[c]),
                         leak_mult,
                     );
-                    assert_eq!(core_powers[c], p, "core {c} power, step {step}");
+                    assert_eq!(
+                        seg.core_powers()[c - island * width],
+                        p,
+                        "core {c} power, width {width}, step {step}"
+                    );
                     power += p;
                     util_sum += stats.utilization.value();
                     instructions += stats.instructions;
                 }
-                assert_eq!(totals.power, power, "island {island} power, step {step}");
+                assert_eq!(
+                    totals.power, power,
+                    "island {island} power, width {width}, step {step}"
+                );
                 assert_eq!(
                     totals.util_sum.to_bits(),
                     util_sum.to_bits(),
-                    "island {island} utilization, step {step}"
+                    "island {island} utilization, width {width}, step {step}"
                 );
                 assert_eq!(
                     totals.instructions.to_bits(),
                     instructions.to_bits(),
-                    "island {island} instructions, step {step}"
+                    "island {island} instructions, width {width}, step {step}"
                 );
             }
-            assert_eq!(bank_dram.to_bits(), scalar_dram.to_bits(), "step {step}");
+            assert_eq!(
+                bank_dram.to_bits(),
+                scalar_dram.to_bits(),
+                "width {width}, step {step}"
+            );
         }
         for (c, scalar) in scalars.iter().enumerate() {
             let view = CoreView::new(&bank, CoreId(c));
             assert_eq!(view.total_instructions(), scalar.total_instructions());
             assert_eq!(view.total_time(), scalar.total_time());
             assert_eq!(view.profile().name, scalar.profile().name);
+        }
+    }
+
+    #[test]
+    fn bank_matches_scalar_core_models_bitwise() {
+        assert_bank_matches_scalars(4, 4, 200);
+    }
+
+    /// Tail handling is where chunked kernels break: every width that is
+    /// not a multiple of the lane width — including the 1-core degenerate
+    /// segment and widths straddling one and two chunks — must still match
+    /// the scalar walk bit for bit.
+    #[test]
+    fn bank_matches_scalars_at_non_lane_multiple_widths() {
+        for width in [1, 3, 5, 7, 9, 13, 16] {
+            assert_bank_matches_scalars(width, 2, 40);
         }
     }
 
@@ -461,6 +733,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_width_core_bank_rejected() {
+        CoreBank::new(0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn island_bank_rejects_out_of_range_point() {
         IslandBank::new(1, 2, 7).set_dvfs_index(0, 8, &DvfsTable::pentium_m());
@@ -469,14 +747,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "freeze within interval")]
     fn segment_rejects_oversized_freeze() {
-        let mut bank = CoreBank::new();
+        let mut bank = CoreBank::new(1);
         bank.push(parsec::x264(), 1, 0);
         let power_model = CorePowerModel::paper_default();
         let table = DvfsTable::pentium_m();
         let terms = power_model.island_terms(table.max_point());
         bank.advance_phases(Seconds::from_ms(0.5));
-        bank.step_segment(
-            0..1,
+        bank.step_island(
+            0,
             table.max_point().frequency,
             Seconds::from_ms(0.5),
             Seconds::from_ms(1.0),
@@ -485,8 +763,6 @@ mod tests {
             terms,
             1.0,
             &[45.0],
-            &mut [Watts::ZERO],
-            &mut 0.0,
         );
     }
 }

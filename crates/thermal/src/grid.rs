@@ -9,6 +9,23 @@
 use crate::floorplan::Floorplan;
 use cpm_units::{Celsius, CoreId, Seconds, Watts};
 
+/// Chunk width of the interior-row stencil pass. Eight `f64`s span two
+/// AVX2 registers (or four NEON ones); the chunk body is elementwise over
+/// fixed strides, which is the shape LLVM's autovectorizer recognizes.
+const LANES: usize = 8;
+
+/// The node-constant factors of one Euler substep, hoisted out of the
+/// row passes.
+#[derive(Clone, Copy)]
+struct StencilCtx {
+    r_v: f64,
+    r_l: f64,
+    cap: f64,
+    ambient: f64,
+    h: f64,
+    cols: usize,
+}
+
 /// Physical parameters of the RC network.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalParams {
@@ -125,12 +142,15 @@ impl ThermalGrid {
     /// Advances the network by `dt` with per-core heat input `powers`
     /// (watts, core-id order), sub-stepping as needed for stability.
     ///
-    /// The update walks the floorplan row by row with the boundary columns
-    /// peeled, so the interior of each row is a branch-light stencil over
-    /// four fixed strides instead of a CSR gather. Flow terms accumulate in
-    /// the floorplan's neighbour order (up, down, left, right) with the
-    /// same expressions as [`ThermalGrid::step_reference`], so results are
-    /// bit-identical to the reference integrator.
+    /// The update walks the floorplan row by row, dispatched to a
+    /// `LANES`-chunked row pass monomorphized over the row's up/down
+    /// coupling (see `ThermalGrid::row_pass`), with the boundary columns
+    /// peeled — so the interior is a branch-free elementwise stencil over
+    /// four fixed strides instead of a CSR gather, and LLVM autovectorizes
+    /// it. Flow terms accumulate in the floorplan's neighbour order (up,
+    /// down, left, right) with the same expressions as
+    /// [`ThermalGrid::step_reference`], so results are bit-identical to
+    /// the reference integrator.
     pub fn step(&mut self, powers: &[Watts], dt: Seconds) {
         assert_eq!(
             powers.len(),
@@ -139,52 +159,99 @@ impl ThermalGrid {
         );
         let (rows, cols) = (self.floorplan.rows(), self.floorplan.cols());
         let (substeps, h) = self.substep_schedule(dt);
-        let r_v = self.params.r_vertical;
-        let r_l = self.params.r_lateral;
-        let cap = self.params.capacitance;
-        let ambient = self.params.ambient.value();
+        let ctx = StencilCtx {
+            r_v: self.params.r_vertical,
+            r_l: self.params.r_lateral,
+            cap: self.params.capacitance,
+            ambient: self.params.ambient.value(),
+            h,
+            cols,
+        };
         let mut next = std::mem::take(&mut self.scratch);
         debug_assert_eq!(next.len(), self.temperatures.len());
         for _ in 0..substeps {
             let temps = &self.temperatures;
             for r in 0..rows {
-                let base = r * cols;
-                let has_up = r > 0;
-                let has_down = r + 1 < rows;
-                // One node's Euler update; `$left`/`$right` are const at
-                // each expansion, and `has_up`/`has_down` are row-invariant,
-                // so the interior loop body carries no per-column branches.
-                macro_rules! relax {
-                    ($c:expr, $left:expr, $right:expr) => {{
-                        let i = base + $c;
-                        let t = temps[i];
-                        let mut flow = powers[i].value() - (t - ambient) / r_v;
-                        if has_up {
-                            flow -= (t - temps[i - cols]) / r_l;
-                        }
-                        if has_down {
-                            flow -= (t - temps[i + cols]) / r_l;
-                        }
-                        if $left {
-                            flow -= (t - temps[i - 1]) / r_l;
-                        }
-                        if $right {
-                            flow -= (t - temps[i + 1]) / r_l;
-                        }
-                        next[i] = t + h * flow / cap;
-                    }};
-                }
-                relax!(0, false, cols > 1);
-                for c in 1..cols.saturating_sub(1) {
-                    relax!(c, true, true);
-                }
-                if cols > 1 {
-                    relax!(cols - 1, true, false);
+                // Monomorphize per up/down combination so the chunked
+                // interior body carries no per-node branches at all.
+                match (r > 0, r + 1 < rows) {
+                    (false, false) => {
+                        Self::row_pass::<false, false>(temps, powers, &mut next, r, ctx)
+                    }
+                    (false, true) => {
+                        Self::row_pass::<false, true>(temps, powers, &mut next, r, ctx)
+                    }
+                    (true, false) => {
+                        Self::row_pass::<true, false>(temps, powers, &mut next, r, ctx)
+                    }
+                    (true, true) => Self::row_pass::<true, true>(temps, powers, &mut next, r, ctx),
                 }
             }
             std::mem::swap(&mut self.temperatures, &mut next);
         }
         self.scratch = next;
+    }
+
+    /// One node's Euler update, with the vertical coupling resolved at
+    /// compile time and the lateral coupling by the peeled caller.
+    #[inline(always)] // the chunk loop body must inline to vectorize
+    fn relax_node<const UP: bool, const DOWN: bool>(
+        temps: &[f64],
+        powers: &[Watts],
+        next: &mut [f64],
+        i: usize,
+        left: bool,
+        right: bool,
+        ctx: StencilCtx,
+    ) {
+        let t = temps[i];
+        let mut flow = powers[i].value() - (t - ctx.ambient) / ctx.r_v;
+        if UP {
+            flow -= (t - temps[i - ctx.cols]) / ctx.r_l;
+        }
+        if DOWN {
+            flow -= (t - temps[i + ctx.cols]) / ctx.r_l;
+        }
+        if left {
+            flow -= (t - temps[i - 1]) / ctx.r_l;
+        }
+        if right {
+            flow -= (t - temps[i + 1]) / ctx.r_l;
+        }
+        next[i] = t + ctx.h * flow / ctx.cap;
+    }
+
+    /// One row of the Euler substep: peeled left/right edge nodes around a
+    /// `LANES`-chunked interior with a scalar tail. Each interior node
+    /// evaluates the token-identical [`ThermalGrid::relax_node`] expression
+    /// — chunking only fixes the trip count of the elementwise loop, it
+    /// never reassociates a node's flow sum — so the pass is bit-identical
+    /// to the unchunked walk.
+    fn row_pass<const UP: bool, const DOWN: bool>(
+        temps: &[f64],
+        powers: &[Watts],
+        next: &mut [f64],
+        r: usize,
+        ctx: StencilCtx,
+    ) {
+        let cols = ctx.cols;
+        let base = r * cols;
+        Self::relax_node::<UP, DOWN>(temps, powers, next, base, false, cols > 1, ctx);
+        let interior_end = cols.saturating_sub(1);
+        let mut c = 1;
+        while c + LANES <= interior_end {
+            for l in 0..LANES {
+                Self::relax_node::<UP, DOWN>(temps, powers, next, base + c + l, true, true, ctx);
+            }
+            c += LANES;
+        }
+        while c < interior_end {
+            Self::relax_node::<UP, DOWN>(temps, powers, next, base + c, true, true, ctx);
+            c += 1;
+        }
+        if cols > 1 {
+            Self::relax_node::<UP, DOWN>(temps, powers, next, base + cols - 1, true, false, ctx);
+        }
     }
 
     /// The unfused CSR-gather integrator [`ThermalGrid::step`] replaced —
@@ -364,7 +431,20 @@ mod tests {
     #[test]
     fn tiled_stencil_is_bit_identical_to_reference() {
         use cpm_rng::Xoshiro256pp;
-        for &(rows, cols) in &[(1, 1), (1, 5), (5, 1), (2, 4), (3, 3), (4, 8), (32, 32)] {
+        // Widths straddle the lane width: interiors of 0, 3, 9, and 15
+        // columns exercise the empty, tail-only, chunk+tail, and
+        // multi-chunk paths of the chunked row pass.
+        for &(rows, cols) in &[
+            (1, 1),
+            (1, 5),
+            (5, 1),
+            (2, 4),
+            (3, 3),
+            (3, 11),
+            (2, 17),
+            (4, 8),
+            (32, 32),
+        ] {
             let params = ThermalParams::paper_default();
             let mut tiled = ThermalGrid::new(Floorplan::grid(rows, cols), params);
             let mut reference = tiled.clone();

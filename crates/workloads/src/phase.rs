@@ -15,8 +15,14 @@
 //! sequence; the simulator gives every core its own stream id.
 
 use crate::profile::BenchmarkProfile;
-use cpm_rng::Xoshiro256pp;
+use cpm_rng::{Xoshiro256pp, XoshiroBank};
 use cpm_units::Seconds;
+
+/// Fixed chunk width of the bank's lane-structured advance pass. Eight
+/// f64 lanes = two 4-wide (AVX2) or four 2-wide (SSE2/NEON) vectors —
+/// wide enough to fill any current f64 vector unit, small enough that
+/// per-chunk stack arrays stay register-resident.
+const LANES: usize = 8;
 
 /// Instantaneous phase multipliers applied to a profile's parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,13 +152,18 @@ impl PhaseGenerator {
 ///
 /// Each entry replicates [`PhaseGenerator`] state-for-state (the Markov
 /// level is stored directly as its intensity, which `Level::intensity`
-/// maps 1:1), and [`PhaseBank::advance_into`] evaluates the exact
-/// expressions of [`PhaseGenerator::advance`] in the same order, so a bank
-/// built by pushing `(profile, seed, stream)` triples is bit-identical to
-/// a `Vec<PhaseGenerator>` built from the same triples.
+/// maps 1:1; the RNG streams live in a column-wise [`XoshiroBank`]), and
+/// [`PhaseBank::advance_into`] evaluates the exact expressions of
+/// [`PhaseGenerator::advance`] — chunked into `LANES`-wide passes with
+/// a scalar tail, which preserves bit-identity because every pass is
+/// elementwise (no cross-lane reduction exists to reassociate) and each
+/// lane's RNG draw order (switch draw → optional level redraw → jitter
+/// draw) is untouched. So a bank built by pushing `(profile, seed,
+/// stream)` triples is bit-identical to a `Vec<PhaseGenerator>` built
+/// from the same triples, at any length.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseBank {
-    rng: Vec<Xoshiro256pp>,
+    rng: XoshiroBank,
     period: Vec<f64>,
     variability: Vec<f64>,
     phase_offset: Vec<f64>,
@@ -201,6 +212,12 @@ impl PhaseBank {
     /// Advances every sequence by `dt`, writing the governing samples into
     /// the three scale slices (core order). Entry `i` is bit-identical to
     /// `PhaseGenerator::advance` on generator `i`.
+    ///
+    /// Full `LANES`-wide chunks go through the vectorizable multi-pass
+    /// kernel (`Self::advance_chunk`); the remainder takes the scalar
+    /// per-sequence path (`Self::advance_one`). The split is purely a
+    /// codegen concern — both paths evaluate the same expressions per
+    /// lane, so results do not depend on where the chunk boundary falls.
     pub fn advance_into(
         &mut self,
         dt: Seconds,
@@ -215,40 +232,144 @@ impl PhaseBank {
         );
         let dt = dt.value();
         assert!(dt >= 0.0, "time cannot run backwards");
-        for i in 0..n {
-            self.elapsed[i] += dt;
+        let mut base = 0;
+        while base + LANES <= n {
+            let cpi = (&mut cpi_scale[base..base + LANES]).try_into().unwrap();
+            let mem = (&mut mem_scale[base..base + LANES]).try_into().unwrap();
+            let act = (&mut activity_scale[base..base + LANES])
+                .try_into()
+                .unwrap();
+            self.advance_chunk(base, dt, cpi, mem, act);
+            base += LANES;
+        }
+        for i in base..n {
+            let (c, m, a) = self.advance_one(i, dt);
+            cpi_scale[i] = c;
+            mem_scale[i] = m;
+            activity_scale[i] = a;
+        }
+    }
 
-            // Markov level switching: geometric dwell with mean `mean_dwell`.
-            let p_switch = (dt / self.mean_dwell[i]).min(1.0);
-            let rng = &mut self.rng[i];
-            if rng.next_f64() < p_switch {
-                self.level_intensity[i] = match rng.below(3) {
+    /// One full lane chunk of the advance, structured as elementwise
+    /// passes over `[f64; LANES]` stack arrays so LLVM autovectorizes
+    /// them. Each pass applies the token-identical expression of the
+    /// scalar path to every lane; the only serial work left is the
+    /// conditional Markov redraw (data-dependent per lane) and the `sin`
+    /// of the periodic term (libm call, not vectorizable std-only).
+    /// Per-lane RNG draw order is the scalar order: switch draw, then
+    /// the level redraw only on switching lanes, then the jitter draw.
+    fn advance_chunk(
+        &mut self,
+        base: usize,
+        dt: f64,
+        cpi: &mut [f64; LANES],
+        mem: &mut [f64; LANES],
+        act: &mut [f64; LANES],
+    ) {
+        // Pass 1 (vector): elapsed update + switch probability.
+        let mut p_sw = [0.0; LANES];
+        for (l, p) in p_sw.iter_mut().enumerate() {
+            let i = base + l;
+            self.elapsed[i] += dt;
+            *p = (dt / self.mean_dwell[i]).min(1.0);
+        }
+
+        // Pass 2 (vector): the switch draw — every lane's first draw of
+        // this step, batched through the column-wise RNG bank.
+        let mut draw = [0.0; LANES];
+        self.rng.fill_next_f64(base, &mut draw);
+
+        // Pass 3 (scalar): Markov level redraw on switching lanes only —
+        // the draw is conditional, so batching it would desynchronize
+        // non-switching lanes' streams.
+        for l in 0..LANES {
+            let i = base + l;
+            if draw[l] < p_sw[l] {
+                self.level_intensity[i] = match self.rng.below_at(i, 3) {
                     0 => Level::Low.intensity(),
                     1 => Level::Nominal.intensity(),
                     _ => Level::High.intensity(),
                 };
             }
-
-            // Periodic component.
-            let periodic = if self.period[i] > 0.0 {
-                (std::f64::consts::TAU * self.elapsed[i] / self.period[i] + self.phase_offset[i])
-                    .sin()
-            } else {
-                0.0
-            };
-
-            // Jitter.
-            let jitter = rng.signed_unit() * 0.15;
-
-            // Blend: periodic 50 %, Markov 35 %, jitter 15 %, scaled to the
-            // profile's variability.
-            let x =
-                (0.50 * periodic + 0.35 * self.level_intensity[i] + jitter) * self.variability[i];
-
-            cpi_scale[i] = (1.0 - 0.6 * x).max(0.2);
-            mem_scale[i] = (1.0 + x).max(0.05);
-            activity_scale[i] = (1.0 + 0.5 * x).clamp(0.2, 1.25);
         }
+
+        // Pass 4 (vector): jitter — batched draw, then the signed_unit
+        // map `lo + f·(hi−lo)` with (lo, hi) = (−1, 1) constant-folded,
+        // exactly the ops `signed_unit() * 0.15` performs.
+        let mut jit = [0.0; LANES];
+        self.rng.fill_next_f64(base, &mut jit);
+        for j in jit.iter_mut() {
+            *j = (-1.0 + *j * 2.0) * 0.15;
+        }
+
+        // Pass 5a (vector): the sin argument. Evaluating
+        // `TAU·elapsed/period + offset` into a temp is the same rounding
+        // sequence as the fused scalar expression, so handing the temp to
+        // `sin` is bit-identical — and it keeps the divides out of the
+        // serial libm pass below.
+        let mut arg = [0.0; LANES];
+        let mut periodic_on = [false; LANES];
+        for l in 0..LANES {
+            let i = base + l;
+            arg[l] =
+                std::f64::consts::TAU * self.elapsed[i] / self.period[i] + self.phase_offset[i];
+            periodic_on[l] = self.period[i] > 0.0;
+        }
+
+        // Pass 5b (scalar): `sin` stays a libm call — the measured floor
+        // of this kernel (see EXPERIMENTS.md); lanes with no periodic
+        // term skip it (their `arg` may be inf/nan from the divide, which
+        // is fine because it is never consumed).
+        let mut per = [0.0; LANES];
+        for l in 0..LANES {
+            per[l] = if periodic_on[l] { arg[l].sin() } else { 0.0 };
+        }
+
+        // Pass 6 (vector): blend — periodic 50 %, Markov 35 %, jitter
+        // 15 %, scaled to the profile's variability.
+        for l in 0..LANES {
+            let i = base + l;
+            let x = (0.50 * per[l] + 0.35 * self.level_intensity[i] + jit[l]) * self.variability[i];
+            cpi[l] = (1.0 - 0.6 * x).max(0.2);
+            mem[l] = (1.0 + x).max(0.05);
+            act[l] = (1.0 + 0.5 * x).clamp(0.2, 1.25);
+        }
+    }
+
+    /// The scalar per-sequence advance (tail lanes): the original
+    /// [`PhaseGenerator::advance`] body, expression for expression.
+    fn advance_one(&mut self, i: usize, dt: f64) -> (f64, f64, f64) {
+        self.elapsed[i] += dt;
+
+        // Markov level switching: geometric dwell with mean `mean_dwell`.
+        let p_switch = (dt / self.mean_dwell[i]).min(1.0);
+        if self.rng.next_f64_at(i) < p_switch {
+            self.level_intensity[i] = match self.rng.below_at(i, 3) {
+                0 => Level::Low.intensity(),
+                1 => Level::Nominal.intensity(),
+                _ => Level::High.intensity(),
+            };
+        }
+
+        // Periodic component.
+        let periodic = if self.period[i] > 0.0 {
+            (std::f64::consts::TAU * self.elapsed[i] / self.period[i] + self.phase_offset[i]).sin()
+        } else {
+            0.0
+        };
+
+        // Jitter.
+        let jitter = self.rng.signed_unit_at(i) * 0.15;
+
+        // Blend: periodic 50 %, Markov 35 %, jitter 15 %, scaled to the
+        // profile's variability.
+        let x = (0.50 * periodic + 0.35 * self.level_intensity[i] + jitter) * self.variability[i];
+
+        (
+            (1.0 - 0.6 * x).max(0.2),
+            (1.0 + x).max(0.05),
+            (1.0 + 0.5 * x).clamp(0.2, 1.25),
+        )
     }
 
     /// Total simulated time sequence `i` has covered.
@@ -329,23 +450,20 @@ mod tests {
         assert!((g.elapsed().ms() - 50.0).abs() < 1e-9);
     }
 
-    #[test]
-    fn bank_is_bit_identical_to_generators() {
-        // The SoA bank must replay every scalar generator exactly — the
-        // chip's determinism contract rides on this.
+    fn assert_bank_matches_generators(cores: usize, steps: usize) {
         let profiles = parsec::all();
         let seed = 0xC0FFEE;
         let mut generators: Vec<PhaseGenerator> = Vec::new();
         let mut bank = PhaseBank::new();
-        for (stream, p) in profiles.iter().cycle().take(32).enumerate() {
+        for (stream, p) in profiles.iter().cycle().take(cores).enumerate() {
             generators.push(PhaseGenerator::new(p, seed, stream as u64));
             bank.push(p, seed, stream as u64);
         }
         assert_eq!(bank.len(), generators.len());
-        let mut cpi = vec![0.0; 32];
-        let mut mem = vec![0.0; 32];
-        let mut act = vec![0.0; 32];
-        for step in 0..500 {
+        let mut cpi = vec![0.0; cores];
+        let mut mem = vec![0.0; cores];
+        let mut act = vec![0.0; cores];
+        for step in 0..steps {
             let dt = Seconds::from_ms(0.5);
             bank.advance_into(dt, &mut cpi, &mut mem, &mut act);
             for (i, g) in generators.iter_mut().enumerate() {
@@ -354,10 +472,27 @@ mod tests {
                     s.cpi_scale.to_bits() == cpi[i].to_bits()
                         && s.mem_scale.to_bits() == mem[i].to_bits()
                         && s.activity_scale.to_bits() == act[i].to_bits(),
-                    "core {i} diverged at step {step}"
+                    "core {i} of {cores} diverged at step {step}"
                 );
                 assert_eq!(g.elapsed(), bank.elapsed(i));
             }
+        }
+    }
+
+    #[test]
+    fn bank_is_bit_identical_to_generators() {
+        // The SoA bank must replay every scalar generator exactly — the
+        // chip's determinism contract rides on this.
+        assert_bank_matches_generators(32, 500);
+    }
+
+    #[test]
+    fn bank_is_bit_identical_at_non_lane_multiple_sizes() {
+        // Tail handling is where chunked kernels break: exercise sizes
+        // below, at, just past, and far past the lane width — including
+        // the 1-core degenerate where *only* the scalar tail runs.
+        for cores in [1usize, 5, 7, 8, 9, 13, 16, 33] {
+            assert_bank_matches_generators(cores, 120);
         }
     }
 

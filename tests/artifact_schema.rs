@@ -87,9 +87,12 @@ fn perf_artifact_passes_its_schema_gate() {
         "chip_step_8",
         "chip_step_32",
         "chip_step_1024",
+        "chip_step_1024_sharded",
         "pid_step",
         "maxbips_choose",
         "thermal_step_32",
+        "thermal_step_64",
+        "thermal_step_128",
         "cache_access",
         "calibration",
     ];

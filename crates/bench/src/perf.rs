@@ -122,6 +122,37 @@ pub fn run_perf(quick: bool) -> PerfReport {
     }
 
     {
+        // The deterministic cpm-math lane kernels at the kilocore column
+        // width, reported per element (the unit the "libm floor"
+        // discussion in EXPERIMENTS.md is quoted in). The closure steps a
+        // whole 1024-wide column; the measurement is rescaled afterwards.
+        const COL: usize = 1024;
+        let per_elem = |m: Measurement| Measurement {
+            median_ns: m.median_ns / COL as f64,
+            min_ns: m.min_ns / COL as f64,
+            batch: m.batch,
+        };
+        let xs: Vec<f64> = (0..COL).map(|i| 0.01 * i as f64 - 3.0).collect();
+        let mut out = vec![0.0f64; COL];
+        let xs2 = xs.clone();
+        let mut out2 = out.clone();
+        push(
+            "math_sin_lane",
+            per_elem(measure(quick, move || {
+                cpm_math::sin_into(black_box(&xs), &mut out);
+                black_box(&out);
+            })),
+        );
+        push(
+            "math_exp_lane",
+            per_elem(measure(quick, move || {
+                cpm_math::exp_into(black_box(&xs2), &mut out2);
+                black_box(&out2);
+            })),
+        );
+    }
+
+    {
         // One PIC control-law invocation: transducer sense + PID step +
         // DVFS quantization (the per-island T_local work).
         let cfg = CmpConfig::paper_default();

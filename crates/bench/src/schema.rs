@@ -84,6 +84,8 @@ impl ArtifactKind {
                 "\"chip_step_32\"",
                 "\"chip_step_1024\"",
                 "\"chip_step_1024_sharded\"",
+                "\"math_sin_lane\"",
+                "\"math_exp_lane\"",
                 "\"pid_step\"",
                 "\"maxbips_choose\"",
                 "\"thermal_step_32\"",

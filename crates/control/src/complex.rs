@@ -35,10 +35,15 @@ impl Complex {
         Self { re, im: 0.0 }
     }
 
-    /// Creates the point `r·e^{iθ}`.
+    /// Creates the point `r·e^{iθ}`. Cold analysis path: trigonometry
+    /// goes through the sanctioned libm gateway, not the deterministic
+    /// hot-path kernels.
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self::new(r * theta.cos(), r * theta.sin())
+        Self::new(
+            r * cpm_math::reference::cos(theta),
+            r * cpm_math::reference::sin(theta),
+        )
     }
 
     /// The modulus `|z|`.

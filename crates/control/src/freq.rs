@@ -36,12 +36,16 @@ impl FrequencyResponse {
             omega_min > 0.0 && omega_min < std::f64::consts::PI,
             "ω_min must lie in (0, π)"
         );
-        let log_min = omega_min.ln();
-        let log_max = std::f64::consts::PI.ln();
+        // Cold analysis path (design-time Bode sweep): host libm via the
+        // sanctioned gateway, not the deterministic hot-path kernels.
+        let log_min = cpm_math::reference::ln(omega_min);
+        let log_max = cpm_math::reference::ln(std::f64::consts::PI);
         let mut prev_phase: Option<f64> = None;
         let points = (0..n)
             .map(|k| {
-                let omega = (log_min + (log_max - log_min) * k as f64 / (n - 1) as f64).exp();
+                let omega = cpm_math::reference::exp(
+                    log_min + (log_max - log_min) * k as f64 / (n - 1) as f64,
+                );
                 let h = tf.eval(Complex::from_polar(1.0, omega));
                 let magnitude = h.norm();
                 let mut phase = h.arg();
@@ -58,7 +62,7 @@ impl FrequencyResponse {
                 FrequencyPoint {
                     omega,
                     magnitude,
-                    magnitude_db: 20.0 * magnitude.log10(),
+                    magnitude_db: 20.0 * cpm_math::reference::log10(magnitude),
                     phase,
                 }
             })

@@ -111,9 +111,11 @@ impl IslandHistory {
 
     fn learn(&mut self, bips_now: f64, alloc_now: f64) {
         if self.prev_bips > 1e-12 && self.prev_alloc > 1e-9 && bips_now > 1e-12 {
-            let dp = (alloc_now / self.prev_alloc).ln();
+            // GPM-interval cadence (cold): the sanctioned libm gateway,
+            // not the deterministic hot-path kernels.
+            let dp = cpm_math::reference::ln(alloc_now / self.prev_alloc);
             if dp.abs() >= SENS_MIN_DELTA {
-                let db = (bips_now / self.prev_bips).ln();
+                let db = cpm_math::reference::ln(bips_now / self.prev_bips);
                 self.sens_num = SENS_DECAY * self.sens_num + dp * db;
                 self.sens_den = SENS_DECAY * self.sens_den + dp * dp;
             }

@@ -46,10 +46,18 @@ pub enum RuleId {
     /// plain lane-chunked loops LLVM autovectorizes — std-only stable
     /// stays enforced.
     SimdStable,
+    /// Direct libm-backed transcendental method calls (`.sin()`, `.exp()`,
+    /// `.powf()`, `.ln()`, …) in library crates outside `cpm-math`. Host
+    /// libm results differ across platforms bit-for-bit, so any such call
+    /// on a hot path silently forks the golden trajectories per OS.
+    /// Simulation code uses the deterministic `cpm_math` kernels; cold
+    /// analysis paths route through `cpm_math::reference::*`; the
+    /// documented `*_reference` accuracy twins carry waivers.
+    MathScope,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 11] = [
+pub const ALL_RULES: [RuleId; 12] = [
     RuleId::HashIteration,
     RuleId::Timing,
     RuleId::EnvRead,
@@ -61,6 +69,7 @@ pub const ALL_RULES: [RuleId; 11] = [
     RuleId::LockUnwrap,
     RuleId::AllowJustify,
     RuleId::SimdStable,
+    RuleId::MathScope,
 ];
 
 impl RuleId {
@@ -78,6 +87,7 @@ impl RuleId {
             RuleId::LockUnwrap => "lock-unwrap",
             RuleId::AllowJustify => "allow-justify",
             RuleId::SimdStable => "simd-stable",
+            RuleId::MathScope => "math-scope",
         }
     }
 
@@ -178,6 +188,20 @@ const OUTPUT_CRATES: [&str; 1] = ["cpm-bench"];
 /// here exists to implement a test-only `GlobalAlloc` counting
 /// allocator; production code is 100 % safe Rust.
 pub const UNSAFE_ALLOWED_FILES: [&str; 1] = ["crates/sim/tests/alloc_free.rs"];
+
+/// The only library crate that may call host-libm transcendentals: the
+/// deterministic kernel crate itself (whose accuracy twins and
+/// `reference` module are the sanctioned gateway).
+const MATH_CRATES: [&str; 1] = ["cpm-math"];
+
+/// `f64` methods backed by the host libm, whose results differ across
+/// platforms bit-for-bit. IEEE-exact operations (`sqrt`, `powi`, `abs`,
+/// `mul_add` aside — that one is banned by golden identity anyway) are
+/// deliberately absent: they round identically everywhere.
+const LIBM_METHODS: [&str; 13] = [
+    "sin", "cos", "sin_cos", "tan", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log", "log2", "log10",
+    "powf",
+];
 
 /// Methods that iterate a hash container in nondeterministic order.
 const HASH_ITER_METHODS: [&str; 10] = [
@@ -615,6 +639,36 @@ pub fn check_file(ctx: &FileContext, toks: &[Tok<'_>], raw_lines: &[&str]) -> Ve
                  portable"
                     .to_string(),
             );
+        }
+
+        // determinism: libm transcendentals stay inside cpm-math. A
+        // `.sin()` on a hot path silently re-introduces the per-platform
+        // bit drift the deterministic kernels exist to remove; cold paths
+        // route through `cpm_math::reference::*` (free functions, so this
+        // method-call pattern does not fire), and the documented
+        // `*_reference` accuracy twins carry the only waivers.
+        if ctx.role == Role::Library
+            && !MATH_CRATES.contains(&ctx.crate_name.as_str())
+            && !is_test_code(i)
+            && t.is(".")
+        {
+            if let Some(m) = toks.get(i + 1) {
+                if m.kind == TokKind::Ident
+                    && LIBM_METHODS.contains(&m.text)
+                    && seq_is(toks, i + 2, &["("])
+                {
+                    push(
+                        RuleId::MathScope,
+                        m.line,
+                        format!(
+                            "`.{}()` calls the host libm, whose bits differ per platform; use \
+                             the deterministic `cpm_math` kernels (hot paths) or \
+                             `cpm_math::reference::*` (cold analysis paths)",
+                            m.text
+                        ),
+                    );
+                }
+            }
         }
 
         // hygiene: every allow carries a same-line justification.

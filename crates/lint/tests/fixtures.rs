@@ -31,7 +31,7 @@ fn firings(name: &str, rel_path: &str, rule: RuleId) -> Vec<usize> {
 
 /// Every rule: (rule, fire fixture, clean fixture, virtual path, expected
 /// minimum firings in the fire fixture).
-const CASES: [(&str, RuleId, &str, &str, usize); 11] = [
+const CASES: [(&str, RuleId, &str, &str, usize); 12] = [
     (
         "crates/sim/src/fx.rs",
         RuleId::HashIteration,
@@ -107,6 +107,13 @@ const CASES: [(&str, RuleId, &str, &str, usize); 11] = [
         RuleId::SimdStable,
         "simd_stable_fire.rs",
         "simd_stable_clean.rs",
+        4,
+    ),
+    (
+        "crates/sim/src/fx.rs",
+        RuleId::MathScope,
+        "math_scope_fire.rs",
+        "math_scope_clean.rs",
         4,
     ),
 ];
@@ -199,6 +206,14 @@ fn exempt_crates_do_not_fire_determinism_rules() {
         RuleId::RngScope
     )
     .is_empty());
+    // cpm-math is the sanctioned libm gateway: its accuracy twins and
+    // `reference` module call the host libm by design.
+    assert!(firings(
+        "math_scope_fire.rs",
+        "crates/math/src/fx.rs",
+        RuleId::MathScope
+    )
+    .is_empty());
     // Printing is the bench harness's job, and binaries may print.
     assert!(firings("output_fire.rs", "crates/bench/src/fx.rs", RuleId::Output).is_empty());
     assert!(firings("output_fire.rs", "crates/lint/src/main.rs", RuleId::Output).is_empty());
@@ -231,6 +246,13 @@ fn test_role_files_skip_library_only_rules() {
         "lock_unwrap_fire.rs",
         "crates/sim/tests/fx.rs",
         RuleId::LockUnwrap
+    )
+    .is_empty());
+    // Tests compare kernels against libm; direct calls are their job.
+    assert!(firings(
+        "math_scope_fire.rs",
+        "crates/sim/tests/fx.rs",
+        RuleId::MathScope
     )
     .is_empty());
 }

@@ -1,0 +1,30 @@
+// math-scope clean corpus: the sanctioned ways to compute
+// transcendentals — the deterministic kernels on hot paths, the
+// `cpm_math::reference` free functions on cold analysis paths, and
+// IEEE-exact f64 methods (which round identically on every platform).
+
+pub fn periodic_term(elapsed: f64, tau: f64, offset: f64) -> f64 {
+    cpm_math::sin_det(elapsed * tau + offset)
+}
+
+pub fn leakage_term(t: f64, t_nom: f64, beta: f64) -> f64 {
+    cpm_math::exp_det((t - t_nom) * beta)
+}
+
+pub fn log_spacing(omega: f64) -> f64 {
+    cpm_math::reference::ln(omega)
+}
+
+pub fn exact_ops(x: f64) -> f64 {
+    // sqrt and powi are IEEE-exact; they are not libm surfaces.
+    x.sqrt() + x.powi(2) + x.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests may compare against libm freely.
+    #[test]
+    fn accuracy_twin() {
+        assert!((cpm_math::sin_det(0.5) - 0.5f64.sin()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,18 @@
+// math-scope fire corpus: direct libm-backed transcendental method calls
+// in a library crate outside cpm-math.
+
+pub fn periodic_term(elapsed: f64, tau: f64, offset: f64) -> f64 {
+    (elapsed * tau + offset).sin()
+}
+
+pub fn leakage_term(t: f64, t_nom: f64, beta: f64) -> f64 {
+    ((t - t_nom) * beta).exp()
+}
+
+pub fn bips_curve(p: f64, p_full: f64) -> f64 {
+    (p / p_full).powf(0.45)
+}
+
+pub fn log_spacing(omega: f64) -> f64 {
+    omega.ln()
+}

@@ -113,7 +113,11 @@ impl DynamicPowerModel {
             } else {
                 a.value()
             };
-            out[i] = Watts::new(c * Self::gate(act) * v2f);
+            // `c · V²f` first: that product is activity-independent, so
+            // the island-hoisted lane path can compute it once per unit
+            // instead of once per core (bit-identical only if the scalar
+            // paths associate the same way).
+            out[i] = Watts::new(c * v2f * Self::gate(act));
         }
         out
     }
@@ -141,7 +145,7 @@ impl DynamicPowerModel {
             } else {
                 g
             };
-            total += c * g_u * v2f;
+            total += c * v2f * g_u;
         }
         Watts::new(total)
     }
@@ -169,13 +173,17 @@ impl DynamicPowerModel {
         }
         let mut total = [0.0; L];
         for (i, c) in self.capacitance.iter().enumerate() {
+            // The unit's `c · V²f` product is lane-invariant — computed
+            // once here, exactly as the scalar path associates it.
+            let cv = c * v2f;
             if Unit::ALL[i] == Unit::ClockTree {
+                let ct = cv * g_clock;
                 for t in total.iter_mut() {
-                    *t += c * g_clock * v2f;
+                    *t += ct;
                 }
             } else {
                 for l in 0..L {
-                    total[l] += c * g[l] * v2f;
+                    total[l] += cv * g[l];
                 }
             }
         }

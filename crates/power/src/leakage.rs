@@ -13,6 +13,7 @@
 //! roughly doubles over a 40 °C rise — both standard figures for the
 //! technology node the paper models.
 
+use cpm_math::{exp_det, exp_lanes};
 use cpm_units::{Celsius, Volts, Watts};
 
 /// Static-power model anchored at a nominal voltage/temperature point.
@@ -81,17 +82,33 @@ impl LeakageModel {
     #[inline]
     pub fn v_term(&self, v: Volts) -> f64 {
         let vr = v.value() / self.v_nominal.value();
-        vr * ((v.value() - self.v_nominal.value()) * self.beta_v).exp()
+        vr * exp_det((v.value() - self.v_nominal.value()) * self.beta_v)
     }
 
     /// Leakage power with the voltage factor precomputed by [`Self::v_term`].
     pub fn power_with_v_term(&self, v_term: f64, t: Celsius, multiplier: f64) -> Watts {
         assert!(multiplier > 0.0, "variation multiplier must be positive");
-        // Temperature in Kelvin for the quadratic prefactor.
+        // Temperature in Kelvin for the quadratic prefactor; the anchor
+        // enters as a reciprocal so the hot per-core expression — and its
+        // lane twin — multiplies instead of divides.
         let tk = t.value() + 273.15;
-        let tk0 = self.t_nominal.value() + 273.15;
+        let inv_tk0 = 1.0 / (self.t_nominal.value() + 273.15);
         let t_term =
-            (tk / tk0).powi(2) * ((t.value() - self.t_nominal.value()) * self.beta_t).exp();
+            (tk * inv_tk0).powi(2) * exp_det((t.value() - self.t_nominal.value()) * self.beta_t);
+        self.p_nominal * (multiplier * v_term * t_term)
+    }
+
+    /// The libm-backed accuracy twin of [`Self::power_with_v_term`]: the
+    /// same expression with the host `exp`. Exists so the accuracy suite
+    /// can bound the deterministic kernel against a libm build of the
+    /// leakage model — never used by the simulator; its direct libm call
+    /// carries the one `math-scope` lint waiver in this crate.
+    pub fn power_with_v_term_reference(&self, v_term: f64, t: Celsius, multiplier: f64) -> Watts {
+        assert!(multiplier > 0.0, "variation multiplier must be positive");
+        let tk = t.value() + 273.15;
+        let inv_tk0 = 1.0 / (self.t_nominal.value() + 273.15);
+        let t_term =
+            (tk * inv_tk0).powi(2) * ((t.value() - self.t_nominal.value()) * self.beta_t).exp();
         self.p_nominal * (multiplier * v_term * t_term)
     }
 
@@ -99,11 +116,10 @@ impl LeakageModel {
     /// sharing one island's hoisted voltage factor and variation
     /// multiplier, with temperatures given in °C.
     ///
-    /// Each lane evaluates the token-identical scalar expression (the
-    /// per-lane `exp` keeps this pass a scalar libm loop — it exists so
-    /// the transcendental work is *separated* from the vectorizable
-    /// arithmetic passes around it, not vectorized itself), so `out[l]`
-    /// is bit-identical to the scalar call on lane `l`.
+    /// Each lane evaluates the token-identical scalar expression, so
+    /// `out[l]` is bit-identical to the scalar call on lane `l` — and
+    /// with `exp` now the branch-free `cpm-math` kernel, every pass in
+    /// here vectorizes, transcendental included.
     pub fn power_with_v_term_lanes<const L: usize>(
         &self,
         v_term: f64,
@@ -113,23 +129,23 @@ impl LeakageModel {
     ) {
         assert!(multiplier > 0.0, "variation multiplier must be positive");
         let t_nom = self.t_nominal.value();
-        let tk0 = t_nom + 273.15;
+        let inv_tk0 = 1.0 / (t_nom + 273.15);
         let p_nom = self.p_nominal.value();
         // Vector pass: the quadratic prefactor and the exp argument.
         // Evaluating each into a temp is the same rounding sequence as
-        // the fused scalar expression, so the split is bit-identical —
-        // and it keeps the divides out of the serial libm pass.
+        // the fused scalar expression, so the split is bit-identical.
         let mut quad = [0.0; L];
         let mut e_arg = [0.0; L];
         for l in 0..L {
             let tk = temps_deg[l] + 273.15;
-            quad[l] = (tk / tk0).powi(2);
+            quad[l] = (tk * inv_tk0).powi(2);
             e_arg[l] = (temps_deg[l] - t_nom) * self.beta_t;
         }
-        // Scalar pass: `exp` stays a libm call, then the vectorizable
-        // finish.
+        // Vector pass: the exp kernel over all lanes at once.
+        let mut e = [0.0; L];
+        exp_lanes(&e_arg, &mut e);
         for l in 0..L {
-            let t_term = quad[l] * e_arg[l].exp();
+            let t_term = quad[l] * e[l];
             out[l] = p_nom * (multiplier * v_term * t_term);
         }
     }
@@ -200,5 +216,25 @@ mod tests {
     #[should_panic(expected = "multiplier")]
     fn rejects_non_positive_multiplier() {
         model().power(Volts::new(1.0), Celsius::new(50.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_kernel_tracks_libm_reference() {
+        // The exp kernel is within 1 ulp of libm, so the full leakage
+        // expression must agree with its libm twin to near machine
+        // precision at every reachable (V, T, m) point.
+        let m = model();
+        for vi in 0..=10 {
+            let v = Volts::new(0.9 + 0.05 * vi as f64);
+            let vt = m.v_term(v);
+            for t in (30..=110).step_by(5) {
+                for mult in [1.0, 1.2, 1.5, 2.0] {
+                    let det = m.power_with_v_term(vt, Celsius::new(t as f64), mult);
+                    let lib = m.power_with_v_term_reference(vt, Celsius::new(t as f64), mult);
+                    let rel = (det.value() - lib.value()).abs() / lib.value();
+                    assert!(rel < 1e-14, "V={v:?} T={t} m={mult}: rel err {rel}");
+                }
+            }
+        }
     }
 }

@@ -172,11 +172,16 @@ impl Xoshiro256pp {
     }
 
     /// Zero-mean unit-variance Gaussian via Box–Muller.
+    ///
+    /// Setup-time only (process-variation draws, workload placement):
+    /// the transcendentals go through the sanctioned libm gateway. Hot
+    /// per-step paths never draw Gaussians.
     pub fn next_gaussian(&mut self) -> f64 {
         // u1 in (0, 1] keeps ln() finite.
         let u1 = 1.0 - self.next_f64();
         let u2 = self.next_f64();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        (-2.0 * cpm_math::reference::ln(u1)).sqrt()
+            * cpm_math::reference::cos(std::f64::consts::TAU * u2)
     }
 
     /// Advances the state by 2¹²⁸ steps (the xoshiro256 jump polynomial):

@@ -42,8 +42,30 @@ pub struct CoreModel {
     phase: PhaseGenerator,
     l1_mpki: f64,
     l2_mpki: f64,
+    /// `l1_mpki/1000 · L2_HIT_CYCLES`: the on-chip miss term per unit of
+    /// `mem_scale`. The per-`mpki` constants fold into per-core factors at
+    /// construction so the hot CPI expression — here and in the SoA twin —
+    /// is pure multiply-add with a single divide (the CPI reciprocal).
+    l1_term: f64,
+    /// `l2_mpki/1000 · DRAM_LATENCY_S`: the DRAM-seconds term per unit of
+    /// `mem_scale` (multiplied by `f` in the step).
+    l2_dram: f64,
+    /// `l2_mpki/1000 · 64`: DRAM bytes per instruction per unit of
+    /// `mem_scale`.
+    l2_bytes: f64,
     total_instructions: f64,
     total_time: Seconds,
+}
+
+/// The hoisted per-core factors of the CPI stack for miss rates
+/// `(l1_mpki, l2_mpki)` — shared by [`CoreModel`] and the SoA segment so
+/// both derive bit-identical columns from the same expressions.
+pub(crate) fn miss_terms(l1_mpki: f64, l2_mpki: f64) -> (f64, f64, f64) {
+    (
+        l1_mpki / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES,
+        l2_mpki / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S,
+        l2_mpki / 1000.0 * 64.0,
+    )
 }
 
 impl CoreModel {
@@ -52,11 +74,15 @@ impl CoreModel {
     pub fn new(profile: BenchmarkProfile, seed: u64, stream: u64) -> Self {
         let phase = PhaseGenerator::new(&profile, seed, stream);
         let (l1, l2) = (profile.l1_mpki, profile.l2_mpki);
+        let (l1_term, l2_dram, l2_bytes) = miss_terms(l1, l2);
         Self {
             profile,
             phase,
             l1_mpki: l1,
             l2_mpki: l2,
+            l1_term,
+            l2_dram,
+            l2_bytes,
             total_instructions: 0.0,
             total_time: Seconds::ZERO,
         }
@@ -68,6 +94,10 @@ impl CoreModel {
         assert!(l1_mpki >= 0.0 && l2_mpki >= 0.0 && l1_mpki >= l2_mpki);
         self.l1_mpki = l1_mpki;
         self.l2_mpki = l2_mpki;
+        let (l1_term, l2_dram, l2_bytes) = miss_terms(l1_mpki, l2_mpki);
+        self.l1_term = l1_term;
+        self.l2_dram = l2_dram;
+        self.l2_bytes = l2_bytes;
         self
     }
 
@@ -88,10 +118,8 @@ impl CoreModel {
 
     /// Effective CPI for a given frequency and phase sample.
     fn cpi_parts(&self, f: Hertz, s: PhaseSample) -> (f64, f64) {
-        let on_chip = self.profile.base_cpi * s.cpi_scale
-            + self.l1_mpki * s.mem_scale / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
-        let dram =
-            self.l2_mpki * s.mem_scale / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * f.value();
+        let on_chip = self.profile.base_cpi * s.cpi_scale + self.l1_term * s.mem_scale;
+        let dram = self.l2_dram * s.mem_scale * f.value();
         (on_chip, dram)
     }
 
@@ -124,16 +152,19 @@ impl CoreModel {
         let dram = dram_base * dram_latency_mult;
         let cpi = on_chip + dram;
         let cycles = f.cycles_in(avail);
-        let instructions = cycles / cpi;
+        // One reciprocal feeds both quotients: cycles/cpi and on_chip/cpi
+        // as two divides would double the slowest f64 op in the loop.
+        let inv_cpi = 1.0 / cpi;
+        let instructions = cycles * inv_cpi;
         let avail_frac = avail.value() / dt.value();
-        let busy_frac = on_chip / cpi;
+        let busy_frac = on_chip * inv_cpi;
         let utilization = Ratio::new(busy_frac * avail_frac).clamped();
         let activity =
             Ratio::new(self.profile.activity * sample.activity_scale * busy_frac * avail_frac)
                 .clamped();
         self.total_instructions += instructions;
         self.total_time += dt;
-        let dram_bytes = instructions * self.l2_mpki * sample.mem_scale / 1000.0 * 64.0;
+        let dram_bytes = instructions * self.l2_bytes * sample.mem_scale;
         CoreIntervalStats {
             instructions,
             utilization,

@@ -84,8 +84,13 @@ pub struct CoreSegment {
     profiles: Vec<BenchmarkProfile>,
     base_cpi: Vec<f64>,
     activity: Vec<f64>,
-    l1_mpki: Vec<f64>,
-    l2_mpki: Vec<f64>,
+    /// The hoisted miss-rate factors of [`crate::core_model::miss_terms`]:
+    /// `l1_mpki/1000·L2_HIT_CYCLES`, `l2_mpki/1000·DRAM_LATENCY_S`, and
+    /// `l2_mpki/1000·64` — per-core constants, folded at push time so the
+    /// CPI pass is multiply-add with a single reciprocal.
+    l1_term: Vec<f64>,
+    l2_dram: Vec<f64>,
+    l2_bytes: Vec<f64>,
     total_instructions: Vec<f64>,
     total_time: Vec<f64>,
     phases: PhaseBank,
@@ -108,8 +113,11 @@ impl CoreSegment {
         self.phases.push(&profile, seed, stream);
         self.base_cpi.push(profile.base_cpi);
         self.activity.push(profile.activity);
-        self.l1_mpki.push(profile.l1_mpki);
-        self.l2_mpki.push(profile.l2_mpki);
+        let (l1_term, l2_dram, l2_bytes) =
+            crate::core_model::miss_terms(profile.l1_mpki, profile.l2_mpki);
+        self.l1_term.push(l1_term);
+        self.l2_dram.push(l2_dram);
+        self.l2_bytes.push(l2_bytes);
         self.total_instructions.push(0.0);
         self.total_time.push(0.0);
         self.cpi_scale.push(1.0);
@@ -235,21 +243,20 @@ impl CoreSegment {
         for l in 0..LANES {
             let i = base + l;
             let mem = self.mem_scale[i];
-            let on_chip = self.base_cpi[i] * self.cpi_scale[i]
-                + self.l1_mpki[i] * mem / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
-            let dram_base =
-                self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * ctx.f_val;
+            let on_chip = self.base_cpi[i] * self.cpi_scale[i] + self.l1_term[i] * mem;
+            let dram_base = self.l2_dram[i] * mem * ctx.f_val;
             let dram = dram_base * ctx.dram_latency_mult;
             let cpi = on_chip + dram;
-            let instructions = ctx.cycles / cpi;
-            let busy_frac = on_chip / cpi;
+            let inv_cpi = 1.0 / cpi;
+            let instructions = ctx.cycles * inv_cpi;
+            let busy_frac = on_chip * inv_cpi;
             instr[l] = instructions;
             util[l] = (busy_frac * ctx.avail_frac).clamp(0.0, 1.0);
             act[l] = (self.activity[i] * self.activity_scale[i] * busy_frac * ctx.avail_frac)
                 .clamp(0.0, 1.0);
             self.total_instructions[i] += instructions;
             self.total_time[i] += ctx.dt_val;
-            self.dram_bytes[i] = instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
+            self.dram_bytes[i] = instructions * self.l2_bytes[i] * mem;
         }
         // Pass 2 — per-lane power through the cpm-power lane kernels
         // (vector dynamic pass, scalar-libm leakage pass; each lane
@@ -282,21 +289,20 @@ impl CoreSegment {
         totals: &mut SegmentTotals,
     ) {
         let mem = self.mem_scale[i];
-        let on_chip = self.base_cpi[i] * self.cpi_scale[i]
-            + self.l1_mpki[i] * mem / 1000.0 * BenchmarkProfile::L2_HIT_CYCLES;
-        let dram_base =
-            self.l2_mpki[i] * mem / 1000.0 * BenchmarkProfile::DRAM_LATENCY_S * ctx.f_val;
+        let on_chip = self.base_cpi[i] * self.cpi_scale[i] + self.l1_term[i] * mem;
+        let dram_base = self.l2_dram[i] * mem * ctx.f_val;
         let dram = dram_base * ctx.dram_latency_mult;
         let cpi = on_chip + dram;
-        let instructions = ctx.cycles / cpi;
-        let busy_frac = on_chip / cpi;
+        let inv_cpi = 1.0 / cpi;
+        let instructions = ctx.cycles * inv_cpi;
+        let busy_frac = on_chip * inv_cpi;
         let utilization = Ratio::new(busy_frac * ctx.avail_frac).clamped();
         let activity =
             Ratio::new(self.activity[i] * self.activity_scale[i] * busy_frac * ctx.avail_frac)
                 .clamped();
         self.total_instructions[i] += instructions;
         self.total_time[i] += ctx.dt_val;
-        self.dram_bytes[i] = instructions * self.l2_mpki[i] * mem / 1000.0 * 64.0;
+        self.dram_bytes[i] = instructions * self.l2_bytes[i] * mem;
         let p = power_model.total_power_with_terms(
             ctx.terms,
             activity,

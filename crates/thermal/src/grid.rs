@@ -15,14 +15,19 @@ use cpm_units::{Celsius, CoreId, Seconds, Watts};
 const LANES: usize = 8;
 
 /// The node-constant factors of one Euler substep, hoisted out of the
-/// row passes.
+/// row passes. Resistances and capacitance enter as reciprocals
+/// (conductances, `h/C`) so the stencil body is pure multiply-add —
+/// divides are the one f64 op whose reciprocal throughput dominates a
+/// vectorized loop, and the unhoisted form spent six of them per node.
 #[derive(Clone, Copy)]
 struct StencilCtx {
-    r_v: f64,
-    r_l: f64,
-    cap: f64,
+    /// Vertical (node→ambient) conductance `1/R_v`.
+    g_v: f64,
+    /// Lateral (node→node) conductance `1/R_l`.
+    g_l: f64,
     ambient: f64,
-    h: f64,
+    /// Substep length over capacitance, `h/C`.
+    h_over_cap: f64,
     cols: usize,
 }
 
@@ -160,11 +165,10 @@ impl ThermalGrid {
         let (rows, cols) = (self.floorplan.rows(), self.floorplan.cols());
         let (substeps, h) = self.substep_schedule(dt);
         let ctx = StencilCtx {
-            r_v: self.params.r_vertical,
-            r_l: self.params.r_lateral,
-            cap: self.params.capacitance,
+            g_v: 1.0 / self.params.r_vertical,
+            g_l: 1.0 / self.params.r_lateral,
             ambient: self.params.ambient.value(),
-            h,
+            h_over_cap: h / self.params.capacitance,
             cols,
         };
         let mut next = std::mem::take(&mut self.scratch);
@@ -205,20 +209,20 @@ impl ThermalGrid {
         ctx: StencilCtx,
     ) {
         let t = temps[i];
-        let mut flow = powers[i].value() - (t - ctx.ambient) / ctx.r_v;
+        let mut flow = powers[i].value() - (t - ctx.ambient) * ctx.g_v;
         if UP {
-            flow -= (t - temps[i - ctx.cols]) / ctx.r_l;
+            flow -= (t - temps[i - ctx.cols]) * ctx.g_l;
         }
         if DOWN {
-            flow -= (t - temps[i + ctx.cols]) / ctx.r_l;
+            flow -= (t - temps[i + ctx.cols]) * ctx.g_l;
         }
         if left {
-            flow -= (t - temps[i - 1]) / ctx.r_l;
+            flow -= (t - temps[i - 1]) * ctx.g_l;
         }
         if right {
-            flow -= (t - temps[i + 1]) / ctx.r_l;
+            flow -= (t - temps[i + 1]) * ctx.g_l;
         }
-        next[i] = t + ctx.h * flow / ctx.cap;
+        next[i] = t + ctx.h_over_cap * flow;
     }
 
     /// One row of the Euler substep: peeled left/right edge nodes around a
@@ -264,17 +268,22 @@ impl ThermalGrid {
         );
         let p = &self.params;
         let (substeps, h) = self.substep_schedule(dt);
+        // The same conductance/`h/C` hoists as the stencil's StencilCtx,
+        // expression for expression, to keep the twins bit-identical.
+        let g_v = 1.0 / p.r_vertical;
+        let g_l = 1.0 / p.r_lateral;
+        let h_over_cap = h / p.capacitance;
         let mut next = std::mem::take(&mut self.scratch);
         debug_assert_eq!(next.len(), self.temperatures.len());
         for _ in 0..substeps {
             for i in 0..self.temperatures.len() {
                 let t = self.temperatures[i];
-                let mut flow = powers[i].value() - (t - p.ambient.value()) / p.r_vertical;
+                let mut flow = powers[i].value() - (t - p.ambient.value()) * g_v;
                 let (lo, hi) = (self.neighbor_offsets[i], self.neighbor_offsets[i + 1]);
                 for &j in &self.neighbor_links[lo..hi] {
-                    flow -= (t - self.temperatures[j]) / p.r_lateral;
+                    flow -= (t - self.temperatures[j]) * g_l;
                 }
-                next[i] = t + h * flow / p.capacitance;
+                next[i] = t + h_over_cap * flow;
             }
             std::mem::swap(&mut self.temperatures, &mut next);
         }

@@ -1,0 +1,495 @@
+//! Cross-crate call-graph construction over parsed files.
+//!
+//! The graph is a deliberate **over-approximation** — edges may exist
+//! that no execution takes, but no real call is missing:
+//!
+//! * Path calls resolve through the file's `use` aliases (including
+//!   renames and glob imports). `use cpm_obs::Recorder as R; R::record()`
+//!   lands on `cpm-obs::Recorder::record`.
+//! * A bare call `f()` resolves to every free function `f` in the same
+//!   crate, plus free `f` in any glob-imported workspace crate — module
+//!   paths inside a crate are not tracked.
+//! * A method call `.m()` resolves to **every** workspace method named
+//!   `m` (inherent or trait), in any crate. Receiver types are unknown,
+//!   so this is the sound choice; the taint pass inherits the
+//!   conservatism.
+//! * `use` declarations inside `#[cfg(test)]` only resolve calls made
+//!   from test code, so test-only imports cannot create library edges.
+//!
+//! Resolution also renders each path call's *absolute* path (through
+//! aliases, with `crate`/`self` normalized), which the taint pass
+//! pattern-matches against external nondeterminism sources like
+//! `std::time::Instant::now`.
+
+use crate::ast::{ExprKind, FnDef, ParsedFile, UseDecl};
+use crate::rules::Role;
+
+/// Identity of one function in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnKey {
+    /// Crate name (`cpm-sim` style, `cpm` for the root package).
+    pub krate: String,
+    /// The impl/trait type the fn is a method of, if any.
+    pub qual: Option<String>,
+    /// Function name.
+    pub name: String,
+}
+
+impl FnKey {
+    /// Renders `crate::Type::name` / `crate::name` for diagnostics.
+    pub fn render(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{}::{}::{}", self.krate, q, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// One function node of the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Who this is.
+    pub key: FnKey,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Last source line the body touches (== `line` for bodyless decls).
+    pub end_line: usize,
+    /// True for test-role files, `#[cfg(test)]` regions, and `#[test]`s.
+    pub in_test: bool,
+}
+
+/// One resolved path call inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Absolute path after alias expansion (`["std","time","Instant","now"]`).
+    pub resolved: Vec<String>,
+    /// Workspace node indices this call may land on (empty for externals).
+    pub targets: Vec<usize>,
+}
+
+/// One method call inside a function body.
+#[derive(Debug, Clone)]
+pub struct MethodSite {
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Method name.
+    pub name: String,
+    /// Workspace node indices this call may land on.
+    pub targets: Vec<usize>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every function found, in deterministic (file, line) order.
+    pub nodes: Vec<FnNode>,
+    /// Per-node resolved path calls.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-node method calls.
+    pub methods: Vec<Vec<MethodSite>>,
+}
+
+impl CallGraph {
+    /// All callee node indices of `n`, path calls and method calls
+    /// together, deduplicated, in ascending order.
+    pub fn callees(&self, n: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.calls[n]
+            .iter()
+            .flat_map(|c| c.targets.iter().copied())
+            .chain(
+                self.methods[n]
+                    .iter()
+                    .flat_map(|m| m.targets.iter().copied()),
+            )
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Finds the innermost node whose span contains `file:line` — the
+    /// one with the greatest start line at or before `line`.
+    pub fn enclosing_fn(&self, file: &str, line: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file == file && n.line <= line && line <= n.end_line)
+            .max_by_key(|(_, n)| n.line)
+            .map(|(i, _)| i)
+    }
+
+    /// Nodes matching a `(crate, qual, name)` pattern; `qual` of `None`
+    /// in the pattern means "free function", `Some("*")` any method.
+    pub fn find(&self, krate: &str, qual: Option<&str>, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.key.krate == krate
+                    && n.key.name == name
+                    && match qual {
+                        None => n.key.qual.is_none(),
+                        Some("*") => n.key.qual.is_some(),
+                        Some(q) => n.key.qual.as_deref() == Some(q),
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Maps a path's first segment to a workspace crate name: `cpm_sim` →
+/// `cpm-sim`, `crate`/`self`/`super` → the current crate. Returns `None`
+/// for `std`/`core`/`alloc` and unknown roots.
+fn seg_to_crate(seg: &str, current: &str) -> Option<String> {
+    match seg {
+        "crate" | "self" | "super" => Some(current.to_string()),
+        "std" | "core" | "alloc" => None,
+        s if s.starts_with("cpm_") => Some(s.replace('_', "-")),
+        "cpm" => Some("cpm".to_string()),
+        _ => None,
+    }
+}
+
+/// Expands `path` through the file's `use` aliases. Only uses visible to
+/// the caller apply: test-only uses resolve test-only calls.
+fn expand_path(path: &[String], uses: &[UseDecl], from_test: bool) -> Vec<String> {
+    let Some(first) = path.first() else {
+        return path.to_vec();
+    };
+    for u in uses {
+        if u.glob || (u.in_test && !from_test) {
+            continue;
+        }
+        if &u.alias == first {
+            let mut out = u.segs.clone();
+            out.extend(path.iter().skip(1).cloned());
+            return out;
+        }
+    }
+    path.to_vec()
+}
+
+/// Builds the call graph for a set of parsed files.
+pub fn build(files: &[ParsedFile]) -> CallGraph {
+    // Pass 1: nodes.
+    let mut nodes = Vec::new();
+    let mut fn_refs: Vec<(&ParsedFile, &FnDef)> = Vec::new();
+    for pf in files {
+        let file_is_test = pf.ctx.role == Role::Test;
+        for f in &pf.fns {
+            let mut end_line = f.line;
+            f.walk(&mut |e| end_line = end_line.max(e.line));
+            nodes.push(FnNode {
+                key: FnKey {
+                    krate: pf.ctx.crate_name.clone(),
+                    qual: f.qual.clone(),
+                    name: f.name.clone(),
+                },
+                file: pf.ctx.rel_path.clone(),
+                line: f.line,
+                end_line,
+                in_test: f.in_test || file_is_test,
+            });
+            fn_refs.push((pf, f));
+        }
+    }
+    // Index: name → node indices, split free vs method, for resolution.
+    let find_free = |krate: &str, name: &str| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.key.krate == krate && n.key.qual.is_none() && n.key.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let find_method = |krate: Option<&str>, qual: &str, name: &str| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.key.name == name
+                    && n.key.qual.as_deref() == Some(qual)
+                    && krate.map_or(true, |k| n.key.krate == k)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let find_any_method = |name: &str| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.key.qual.is_some() && n.key.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    // Pass 2: resolve call sites per node.
+    let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); nodes.len()];
+    let mut methods: Vec<Vec<MethodSite>> = vec![Vec::new(); nodes.len()];
+    for (n, (pf, f)) in fn_refs.iter().enumerate() {
+        let from_test = nodes[n].in_test;
+        let current = pf.ctx.crate_name.as_str();
+        f.walk(&mut |e| match &e.kind {
+            ExprKind::Call { path, .. } => {
+                let resolved = expand_path(path, &pf.uses, from_test);
+                let mut targets = Vec::new();
+                if resolved.len() == 1 {
+                    // Bare `f()`: same crate, then glob-imported crates.
+                    targets.extend(find_free(current, &resolved[0]));
+                    for u in &pf.uses {
+                        if !u.glob || (u.in_test && !from_test) {
+                            continue;
+                        }
+                        if let Some(k) = u.segs.first().and_then(|s| seg_to_crate(s, current)) {
+                            if k != current {
+                                targets.extend(find_free(&k, &resolved[0]));
+                            }
+                        }
+                    }
+                } else {
+                    let name = resolved.last().cloned().unwrap_or_default();
+                    let prev = &resolved[resolved.len() - 2];
+                    let krate = seg_to_crate(&resolved[0], current);
+                    let type_like = prev.chars().next().is_some_and(|c| c.is_uppercase());
+                    if type_like {
+                        // `Type::assoc()` — an inherent/trait method. When
+                        // the path carries no crate root (`Recorder::new`
+                        // after `use cpm_obs::Recorder`), `expand_path`
+                        // already inserted it; a still-unrooted path means
+                        // a crate-local type.
+                        targets.extend(find_method(
+                            krate.as_deref().or(Some(current)),
+                            prev,
+                            &name,
+                        ));
+                        if targets.is_empty() && krate.is_none() && resolved.len() == 2 {
+                            // Unimported capitalized path: could be a glob
+                            // import of the type. Over-approximate across
+                            // glob-imported crates.
+                            for u in &pf.uses {
+                                if !u.glob || (u.in_test && !from_test) {
+                                    continue;
+                                }
+                                if let Some(k) =
+                                    u.segs.first().and_then(|s| seg_to_crate(s, current))
+                                {
+                                    targets.extend(find_method(Some(&k), prev, &name));
+                                }
+                            }
+                        }
+                    } else {
+                        // Module path: `module::f()` / `cpm_x::module::f()`.
+                        let k = krate.unwrap_or_else(|| current.to_string());
+                        targets.extend(find_free(&k, &name));
+                    }
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                calls[n].push(CallSite {
+                    line: e.line,
+                    resolved,
+                    targets,
+                });
+            }
+            ExprKind::Method { name, .. } => {
+                let mut targets = find_any_method(name);
+                targets.sort_unstable();
+                targets.dedup();
+                methods[n].push(MethodSite {
+                    line: e.line,
+                    name: name.clone(),
+                    targets,
+                });
+            }
+            _ => {}
+        });
+    }
+    CallGraph {
+        nodes,
+        calls,
+        methods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::rules::classify;
+    use crate::tokenizer::tokenize;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<_> = files
+            .iter()
+            .map(|(path, src)| parse_file(&classify(path), &tokenize(src)))
+            .collect();
+        build(&parsed)
+    }
+
+    fn node(g: &CallGraph, name: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.key.name == name)
+            .unwrap_or_else(|| panic!("no node {name}"))
+    }
+
+    #[test]
+    fn same_crate_bare_calls_resolve() {
+        let g = graph(&[("crates/sim/src/lib.rs", "fn a() { b(); }\nfn b() {}")]);
+        let a = node(&g, "a");
+        let b = node(&g, "b");
+        assert_eq!(g.callees(a), vec![b]);
+        assert!(g.callees(b).is_empty());
+    }
+
+    #[test]
+    fn cross_crate_alias_calls_resolve() {
+        let g = graph(&[
+            (
+                "crates/core/src/lib.rs",
+                "use cpm_obs::Recorder as R;\nfn drive() { R::record_all(); }",
+            ),
+            (
+                "crates/obs/src/lib.rs",
+                "pub struct Recorder;\nimpl Recorder { pub fn record_all() {} }",
+            ),
+        ]);
+        let d = node(&g, "drive");
+        let r = node(&g, "record_all");
+        assert_eq!(g.callees(d), vec![r]);
+        assert_eq!(g.nodes[r].key.render(), "cpm-obs::Recorder::record_all");
+    }
+
+    #[test]
+    fn bare_calls_do_not_cross_crates_without_imports() {
+        let g = graph(&[
+            ("crates/sim/src/lib.rs", "fn step() { helper(); }"),
+            ("crates/power/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let s = node(&g, "step");
+        assert!(
+            g.callees(s).is_empty(),
+            "un-imported cross-crate bare call must not resolve"
+        );
+    }
+
+    #[test]
+    fn glob_imports_do_resolve() {
+        let g = graph(&[
+            (
+                "crates/sim/src/lib.rs",
+                "use cpm_power::*;\nfn step() { helper(); }",
+            ),
+            ("crates/power/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let s = node(&g, "step");
+        let h = node(&g, "helper");
+        assert_eq!(g.callees(s), vec![h]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_types() {
+        let g = graph(&[
+            (
+                "crates/sim/src/lib.rs",
+                "struct A; impl A { fn go(&self) {} }\nstruct B; impl B { fn go(&self) {} }\nfn f(a: A) { a.go(); }",
+            ),
+        ]);
+        let f = node(&g, "f");
+        // Both `go`s: the receiver type is unknown, so both edges exist.
+        assert_eq!(g.callees(f).len(), 2);
+    }
+
+    #[test]
+    fn trait_vs_inherent_collision_keeps_both() {
+        let g = graph(&[(
+            "crates/sim/src/lib.rs",
+            "struct S;\n\
+             impl S { fn tick(&self) {} }\n\
+             trait Clocked { fn tick(&self); }\n\
+             impl Clocked for S { fn tick(&self) { nested(); } }\n\
+             fn nested() {}\n\
+             fn drive(s: S) { s.tick(); }",
+        )]);
+        let d = node(&g, "drive");
+        let callees = g.callees(d);
+        // Inherent S::tick, trait-decl Clocked::tick, impl Clocked-for-S
+        // tick: all named `tick` with a qual.
+        assert_eq!(callees.len(), 3, "{:?}", g.nodes);
+    }
+
+    #[test]
+    fn cfg_test_only_imports_do_not_create_library_edges() {
+        let g = graph(&[
+            (
+                "crates/sim/src/lib.rs",
+                "fn lib_f() { helper(); }\n\
+                 #[cfg(test)]\nmod tests {\n  use cpm_power::*;\n  fn test_f() { helper(); }\n}",
+            ),
+            ("crates/power/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let lib_f = node(&g, "lib_f");
+        let test_f = node(&g, "test_f");
+        let h = node(&g, "helper");
+        assert!(
+            g.callees(lib_f).is_empty(),
+            "library fn must not see the test-only glob import"
+        );
+        assert_eq!(g.callees(test_f), vec![h]);
+        assert!(g.nodes[test_f].in_test);
+        assert!(!g.nodes[lib_f].in_test);
+    }
+
+    #[test]
+    fn use_rename_chain_resolves_absolute_path() {
+        let g = graph(&[(
+            "crates/sim/src/lib.rs",
+            "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }",
+        )]);
+        let f = node(&g, "f");
+        assert_eq!(g.calls[f].len(), 1);
+        assert_eq!(
+            g.calls[f][0].resolved,
+            vec!["std", "time", "Instant", "now"]
+        );
+        assert!(g.calls[f][0].targets.is_empty(), "std is external");
+    }
+
+    #[test]
+    fn crate_and_module_paths_resolve_within_crate() {
+        let g = graph(&[(
+            "crates/sim/src/lib.rs",
+            "mod inner { pub fn deep() {} }\n\
+             fn f() { crate::deep(); inner::deep(); self::deep(); }",
+        )]);
+        let f = node(&g, "f");
+        let d = node(&g, "deep");
+        assert_eq!(g.callees(f), vec![d]);
+    }
+
+    #[test]
+    fn enclosing_fn_maps_lines_to_innermost() {
+        let g = graph(&[(
+            "crates/sim/src/lib.rs",
+            "fn outer() {\n  let x = 1;\n  step(x);\n}\nfn step(x: i32) {}",
+        )]);
+        let o = node(&g, "outer");
+        assert_eq!(g.enclosing_fn("crates/sim/src/lib.rs", 3), Some(o));
+        assert_eq!(g.enclosing_fn("crates/sim/src/lib.rs", 99), None);
+    }
+
+    #[test]
+    fn must_not_resolve_unknown_method() {
+        let g = graph(&[(
+            "crates/sim/src/lib.rs",
+            "fn f(v: Vec<f64>) { v.no_such_method_anywhere(); }",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.callees(f).is_empty());
+    }
+}

@@ -24,12 +24,19 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod ast_rules;
+pub mod callgraph;
+pub mod dims;
+pub mod output;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod tokenizer;
 pub mod waivers;
 
 pub use rules::{classify, FileContext, RuleId, Violation, ALL_RULES};
-pub use waivers::{Waiver, WaiverError};
+pub use waivers::{Budget, Waiver, WaiverError, WaiverFile};
 
 use std::path::{Path, PathBuf};
 
@@ -49,14 +56,18 @@ pub struct Report {
     pub waived: Vec<Violation>,
     /// Waivers that suppressed nothing — these also fail the build.
     pub stale: Vec<Waiver>,
+    /// Set when the waiver count exceeds the `[budget]` ratchet; the
+    /// message explains the overrun. Also fails the build.
+    pub over_budget: Option<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
-    /// True when the run should fail: any active violation or stale waiver.
+    /// True when the run should fail: any active violation, stale
+    /// waiver, or budget overrun.
     pub fn is_failure(&self) -> bool {
-        !self.active.is_empty() || !self.stale.is_empty()
+        !self.active.is_empty() || !self.stale.is_empty() || self.over_budget.is_some()
     }
 
     /// Renders the report as the text the binary prints.
@@ -82,6 +93,9 @@ impl Report {
                 w.reason
             );
         }
+        if let Some(msg) = &self.over_budget {
+            let _ = writeln!(s, "error[waiver-budget]: {msg}");
+        }
         let _ = writeln!(
             s,
             "cpm-lint: {} files scanned, {} active violations, {} waived, {} stale waivers",
@@ -94,12 +108,36 @@ impl Report {
     }
 }
 
-/// Lints one in-memory source file under an explicit [`FileContext`].
-/// This is the unit the fixture corpus tests drive directly.
+/// Lints one in-memory source file under an explicit [`FileContext`]
+/// with the **token rules only** — the workspace passes (taint,
+/// dimensions) need the whole file set and run in [`lint_sources`].
+/// This is the unit most of the fixture corpus drives directly.
 pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Violation> {
     let toks = tokenizer::tokenize(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     rules::check_file(ctx, &toks, &raw_lines)
+}
+
+/// Lints a set of in-memory source files as one workspace: per-file
+/// token rules, then the interprocedural taint pass over the cross-file
+/// call graph, then the dimension pass. This is what [`lint_workspace`]
+/// runs on the real tree and what multi-file fixtures drive directly.
+pub fn lint_sources(files: &[(FileContext, String)]) -> Vec<Violation> {
+    let mut token = Vec::new();
+    let mut parsed = Vec::new();
+    for (ctx, source) in files {
+        token.extend(lint_source(ctx, source));
+        let toks = tokenizer::tokenize(source);
+        parsed.push(parser::parse_file(ctx, &toks));
+    }
+    let graph = callgraph::build(&parsed);
+    let mut all = taint::check(&parsed, &graph, &token);
+    all.extend(ast_rules::check(&parsed));
+    let sources: Vec<&str> = files.iter().map(|(_, s)| s.as_str()).collect();
+    all.extend(dims::check(&parsed, &sources));
+    all.extend(token);
+    all.sort_by(|a, b| (&a.path, a.line, a.rule.name()).cmp(&(&b.path, b.line, b.rule.name())));
+    all
 }
 
 /// Reconciles raw violations against a waiver set: splits them into
@@ -130,6 +168,7 @@ pub fn reconcile(violations: Vec<Violation>, waiver_set: &[Waiver]) -> Report {
         active,
         waived,
         stale,
+        over_budget: None,
         files_scanned: 0,
     }
 }
@@ -162,19 +201,20 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 }
 
 /// Lints the whole workspace at `root` against its committed waiver
-/// file. Purely local and offline: reads only files under `root`.
+/// file: token rules, taint pass, dimension pass, waiver reconciliation,
+/// and the budget ratchet. Purely local and offline: reads only files
+/// under `root`.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let waiver_path = root.join(WAIVER_FILE);
-    let waiver_set = if waiver_path.exists() {
+    let waiver_file = if waiver_path.exists() {
         let text = std::fs::read_to_string(&waiver_path)
             .map_err(|e| format!("reading {}: {e}", waiver_path.display()))?;
-        waivers::parse(&text).map_err(|e| e.to_string())?
+        waivers::parse_file(&text).map_err(|e| e.to_string())?
     } else {
-        Vec::new()
+        WaiverFile::default()
     };
     let files = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
+    let mut inputs = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -183,12 +223,22 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             .replace('\\', "/");
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let ctx = classify(&rel);
-        violations.extend(lint_source(&ctx, &source));
-        scanned += 1;
+        inputs.push((classify(&rel), source));
     }
-    let mut report = reconcile(violations, &waiver_set);
-    report.files_scanned = scanned;
+    let violations = lint_sources(&inputs);
+    let mut report = reconcile(violations, &waiver_file.waivers);
+    report.files_scanned = inputs.len();
+    if let Some(b) = &waiver_file.budget {
+        if waiver_file.waivers.len() > b.max {
+            report.over_budget = Some(format!(
+                "{} waivers exceed the budget of {} — fix a violation or deliberately bump \
+                 [budget] max with an updated justification ({})",
+                waiver_file.waivers.len(),
+                b.max,
+                b.justification
+            ));
+        }
+    }
     Ok(report)
 }
 

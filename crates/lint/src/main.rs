@@ -9,16 +9,25 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: cpm-lint [--deny] [--root <dir>] [--list-rules]\n\
+    "usage: cpm-lint [--deny] [--root <dir>] [--format <fmt>] [--list-rules]\n\
      \n\
-     --deny        exit 1 on active violations or stale waivers\n\
-     --root <dir>  workspace root to scan (default: the linter's own workspace)\n\
-     --list-rules  print the rule catalogue and exit\n"
+     --deny          exit 1 on active violations or stale waivers\n\
+     --root <dir>    workspace root to scan (default: the linter's own workspace)\n\
+     --format <fmt>  report format: text (default), json, or sarif\n\
+     --list-rules    print the rule catalogue and exit\n"
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,6 +36,19 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "--format needs one of text|json|sarif, got `{}`\n{}",
+                        other.unwrap_or("<nothing>"),
+                        usage()
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -50,7 +72,11 @@ fn main() -> ExitCode {
         root.unwrap_or_else(|| cpm_lint::workspace_root_from_manifest(env!("CARGO_MANIFEST_DIR")));
     match cpm_lint::lint_workspace(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            match format {
+                Format::Text => print!("{}", report.render()),
+                Format::Json => print!("{}", cpm_lint::output::render_json(&report)),
+                Format::Sarif => print!("{}", cpm_lint::output::render_sarif(&report)),
+            }
             if deny && report.is_failure() {
                 ExitCode::FAILURE
             } else {

@@ -1,0 +1,289 @@
+//! Machine-readable report renderers: `--format json` and `--format sarif`.
+//!
+//! Both renderers are deterministic: they emit no timestamps, no absolute
+//! paths, and no environment-dependent fields, and they serialize the
+//! report in its already-sorted order — so the same tree produces the
+//! same bytes on every run and the fixture test can pin the output
+//! byte-for-byte. The JSON is hand-built (the workspace has zero
+//! external crates) with a full string escaper, so arbitrary diagnostic
+//! messages round-trip.
+//!
+//! The SARIF output targets SARIF 2.1.0 with the minimal property set
+//! GitHub code scanning ingests: one run, a `tool.driver` carrying the
+//! full rule catalogue, and one `result` per violation with a physical
+//! location. Active violations and budget/stale-waiver failures are
+//! `error`-level; waived violations are included at `note` level with a
+//! `suppressions` entry so viewers show them struck through rather than
+//! hiding them.
+
+use crate::rules::ALL_RULES;
+use crate::Report;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a flat JSON document mirroring [`Report`]'s
+/// fields. Stable key order, two-space indent, trailing newline.
+pub fn render_json(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"files_scanned\": {},", report.files_scanned);
+    for (key, list) in [("active", &report.active), ("waived", &report.waived)] {
+        let _ = writeln!(s, "  \"{key}\": [");
+        for (i, v) in list.iter().enumerate() {
+            let comma = if i + 1 < list.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{comma}",
+                v.rule.name(),
+                esc(&v.path),
+                v.line,
+                esc(&v.message)
+            );
+        }
+        s.push_str("  ],\n");
+    }
+    s.push_str("  \"stale_waivers\": [\n");
+    for (i, w) in report.stale.iter().enumerate() {
+        let comma = if i + 1 < report.stale.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"reason\": \"{}\"}}{comma}",
+            w.rule.name(),
+            esc(&w.path),
+            esc(&w.reason)
+        );
+    }
+    s.push_str("  ],\n");
+    match &report.over_budget {
+        Some(msg) => {
+            let _ = writeln!(s, "  \"over_budget\": \"{}\",", esc(msg));
+        }
+        None => s.push_str("  \"over_budget\": null,\n"),
+    }
+    let _ = writeln!(s, "  \"failure\": {}", report.is_failure());
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the report as a SARIF 2.1.0 log.
+pub fn render_sarif(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n");
+    s.push_str("    {\n");
+    s.push_str("      \"tool\": {\n");
+    s.push_str("        \"driver\": {\n");
+    s.push_str("          \"name\": \"cpm-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    // The catalogue plus the two reconciliation-level failure kinds,
+    // which are not per-file rules but do appear as results.
+    let mut rule_ids: Vec<&str> = ALL_RULES.iter().map(|r| r.name()).collect();
+    rule_ids.push("stale-waiver");
+    rule_ids.push("waiver-budget");
+    for (i, id) in rule_ids.iter().enumerate() {
+        let comma = if i + 1 < rule_ids.len() { "," } else { "" };
+        let _ = writeln!(s, "            {{\"id\": \"{id}\"}}{comma}");
+    }
+    s.push_str("          ]\n");
+    s.push_str("        }\n");
+    s.push_str("      },\n");
+    s.push_str("      \"results\": [\n");
+    struct R<'a> {
+        rule: String,
+        level: &'a str,
+        message: String,
+        path: Option<&'a str>,
+        line: usize,
+        suppressed: bool,
+    }
+    let mut results = Vec::new();
+    for v in &report.active {
+        results.push(R {
+            rule: v.rule.name().to_string(),
+            level: "error",
+            message: v.message.clone(),
+            path: Some(&v.path),
+            line: v.line,
+            suppressed: false,
+        });
+    }
+    for v in &report.waived {
+        results.push(R {
+            rule: v.rule.name().to_string(),
+            level: "note",
+            message: v.message.clone(),
+            path: Some(&v.path),
+            line: v.line,
+            suppressed: true,
+        });
+    }
+    for w in &report.stale {
+        results.push(R {
+            rule: "stale-waiver".to_string(),
+            level: "error",
+            message: format!(
+                "{} no longer fires `{}` — remove its waiver ({})",
+                w.path,
+                w.rule.name(),
+                w.reason
+            ),
+            path: Some(&w.path),
+            line: 1,
+            suppressed: false,
+        });
+    }
+    if let Some(msg) = &report.over_budget {
+        results.push(R {
+            rule: "waiver-budget".to_string(),
+            level: "error",
+            message: msg.clone(),
+            path: None,
+            line: 0,
+            suppressed: false,
+        });
+    }
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str("        {\n");
+        let _ = writeln!(s, "          \"ruleId\": \"{}\",", esc(&r.rule));
+        let _ = writeln!(s, "          \"level\": \"{}\",", r.level);
+        let _ = writeln!(
+            s,
+            "          \"message\": {{\"text\": \"{}\"}}",
+            esc(&r.message)
+        );
+        if let Some(path) = r.path {
+            s.push_str(",          \"locations\": [\n");
+            s.push_str("            {\n");
+            s.push_str("              \"physicalLocation\": {\n");
+            let _ = writeln!(
+                s,
+                "                \"artifactLocation\": {{\"uri\": \"{}\"}},",
+                esc(path)
+            );
+            let _ = writeln!(
+                s,
+                "                \"region\": {{\"startLine\": {}}}",
+                r.line.max(1)
+            );
+            s.push_str("              }\n");
+            s.push_str("            }\n");
+            s.push_str("          ]\n");
+        }
+        if r.suppressed {
+            s.push_str(",          \"suppressions\": [{\"kind\": \"external\"}]\n");
+        }
+        let _ = writeln!(s, "        }}{comma}");
+    }
+    s.push_str("      ]\n");
+    s.push_str("    }\n");
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleId, Violation};
+    use crate::waivers::Waiver;
+
+    fn sample_report() -> Report {
+        Report {
+            active: vec![Violation {
+                rule: RuleId::Timing,
+                path: "crates/sim/src/engine.rs".to_string(),
+                line: 42,
+                message: "Instant::now() in a library crate".to_string(),
+            }],
+            waived: vec![Violation {
+                rule: RuleId::PanicBare,
+                path: "crates/rng/src/check.rs".to_string(),
+                line: 7,
+                message: "bare panic!".to_string(),
+            }],
+            stale: vec![Waiver {
+                rule: RuleId::Output,
+                path: "gone.rs".to_string(),
+                reason: "was needed \"once\"".to_string(),
+            }],
+            over_budget: Some("6 waivers exceed the budget of 5".to_string()),
+            files_scanned: 147,
+        }
+    }
+
+    #[test]
+    fn escapes_json_special_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(esc("°C → W"), "°C → W");
+    }
+
+    #[test]
+    fn json_report_carries_every_section() {
+        let j = render_json(&sample_report());
+        assert!(j.contains("\"files_scanned\": 147"));
+        assert!(j.contains("\"rule\": \"timing\""));
+        assert!(j.contains("\"line\": 42"));
+        assert!(j.contains("\"rule\": \"panic-bare\""));
+        assert!(j.contains("was needed \\\"once\\\""));
+        assert!(j.contains("\"over_budget\": \"6 waivers"));
+        assert!(j.contains("\"failure\": true"));
+    }
+
+    #[test]
+    fn json_clean_report_is_success_shaped() {
+        let j = render_json(&Report::default());
+        assert!(j.contains("\"active\": [\n  ]"));
+        assert!(j.contains("\"over_budget\": null"));
+        assert!(j.contains("\"failure\": false"));
+    }
+
+    #[test]
+    fn sarif_lists_full_rule_catalogue_and_results() {
+        let s = render_sarif(&sample_report());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for rule in ALL_RULES {
+            assert!(
+                s.contains(&format!("{{\"id\": \"{}\"}}", rule.name())),
+                "rule {} missing from driver catalogue",
+                rule.name()
+            );
+        }
+        assert!(s.contains("\"ruleId\": \"timing\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\"ruleId\": \"stale-waiver\""));
+        assert!(s.contains("\"ruleId\": \"waiver-budget\""));
+        assert!(s.contains("\"suppressions\": [{\"kind\": \"external\"}]"));
+        // Waived results are notes, not errors.
+        assert!(s.contains("\"level\": \"note\""));
+    }
+
+    #[test]
+    fn sarif_output_is_deterministic() {
+        let r = sample_report();
+        assert_eq!(render_sarif(&r), render_sarif(&r));
+        assert_eq!(render_json(&r), render_json(&r));
+    }
+}

@@ -54,10 +54,23 @@ pub enum RuleId {
     /// analysis paths route through `cpm_math::reference::*`; the
     /// documented `*_reference` accuracy twins carry waivers.
     MathScope,
+    /// Interprocedural determinism taint: a nondeterminism source
+    /// (wall-clock, env read, bare libm, ad-hoc RNG seeding, hash
+    /// iteration — including ones laundered through `use` aliases the
+    /// token rules can't see) reaches, through any call chain, a sink
+    /// that feeds golden-pinned output (Recorder emission, scenario
+    /// goldens, bench stdout). The diagnostic prints both chains.
+    TaintFlow,
+    /// Physical-dimension consistency: `+`/`-`/comparison between
+    /// quantities of different dimensions (W vs Hz, J vs s, …) or a
+    /// suspicious `*`/`/` result (°C², |exponent| ≥ 3) in the modeling
+    /// crates. Dimensions come from cpm-units types, `// dim: <unit>`
+    /// annotations, and conservative naming conventions.
+    DimConsistency,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [RuleId; 12] = [
+pub const ALL_RULES: [RuleId; 14] = [
     RuleId::HashIteration,
     RuleId::Timing,
     RuleId::EnvRead,
@@ -70,6 +83,8 @@ pub const ALL_RULES: [RuleId; 12] = [
     RuleId::AllowJustify,
     RuleId::SimdStable,
     RuleId::MathScope,
+    RuleId::TaintFlow,
+    RuleId::DimConsistency,
 ];
 
 impl RuleId {
@@ -88,6 +103,8 @@ impl RuleId {
             RuleId::AllowJustify => "allow-justify",
             RuleId::SimdStable => "simd-stable",
             RuleId::MathScope => "math-scope",
+            RuleId::TaintFlow => "taint-flow",
+            RuleId::DimConsistency => "dim-consistency",
         }
     }
 
@@ -166,24 +183,25 @@ pub struct Violation {
 
 /// Crates whose whole purpose is timing/benchmarking: `Instant::now` and
 /// `SystemTime` are their trade.
-const TIMING_CRATES: [&str; 2] = ["cpm-bench", "cpm-runtime"];
+pub(crate) const TIMING_CRATES: [&str; 2] = ["cpm-bench", "cpm-runtime"];
 /// Crates allowed to read the environment: the pool's `CPM_WORKERS`
 /// plumbing, the experiment harness's artifact paths, and the linter's
 /// own CLI.
-const ENV_CRATES: [&str; 3] = ["cpm-bench", "cpm-runtime", "cpm-lint"];
+pub(crate) const ENV_CRATES: [&str; 3] = ["cpm-bench", "cpm-runtime", "cpm-lint"];
 /// The only crate that may create threads; everything else borrows its
 /// pool (or `scoped_map`) so the race surface stays in one audited place.
-const THREAD_CRATES: [&str; 1] = ["cpm-runtime"];
+pub(crate) const THREAD_CRATES: [&str; 1] = ["cpm-runtime"];
 /// Library crates that own a seed-derivation contract and may construct
 /// RNG streams: the RNG crate itself, workload synthesis (per-cell child
 /// streams), transducer noise models, and fault injection (per-effect
 /// child streams). Everywhere else, library code takes an `impl Rng` or
 /// a derived child stream from its caller — ad-hoc seeding in the middle
 /// of the stack silently decouples a component from the experiment seed.
-const RNG_CRATES: [&str; 4] = ["cpm-rng", "cpm-workloads", "cpm-control", "cpm-scenario"];
+pub(crate) const RNG_CRATES: [&str; 4] =
+    ["cpm-rng", "cpm-workloads", "cpm-control", "cpm-scenario"];
 /// Library crates exempt from the output rule: the bench harness *is*
 /// the stdout producer the byte-gates diff.
-const OUTPUT_CRATES: [&str; 1] = ["cpm-bench"];
+pub(crate) const OUTPUT_CRATES: [&str; 1] = ["cpm-bench"];
 /// The complete set of files allowed to contain `unsafe`. Everything
 /// here exists to implement a test-only `GlobalAlloc` counting
 /// allocator; production code is 100 % safe Rust.
@@ -192,19 +210,19 @@ pub const UNSAFE_ALLOWED_FILES: [&str; 1] = ["crates/sim/tests/alloc_free.rs"];
 /// The only library crate that may call host-libm transcendentals: the
 /// deterministic kernel crate itself (whose accuracy twins and
 /// `reference` module are the sanctioned gateway).
-const MATH_CRATES: [&str; 1] = ["cpm-math"];
+pub(crate) const MATH_CRATES: [&str; 1] = ["cpm-math"];
 
 /// `f64` methods backed by the host libm, whose results differ across
 /// platforms bit-for-bit. IEEE-exact operations (`sqrt`, `powi`, `abs`,
 /// `mul_add` aside — that one is banned by golden identity anyway) are
 /// deliberately absent: they round identically everywhere.
-const LIBM_METHODS: [&str; 13] = [
+pub(crate) const LIBM_METHODS: [&str; 13] = [
     "sin", "cos", "sin_cos", "tan", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log", "log2", "log10",
     "powf",
 ];
 
 /// Methods that iterate a hash container in nondeterministic order.
-const HASH_ITER_METHODS: [&str; 10] = [
+pub(crate) const HASH_ITER_METHODS: [&str; 10] = [
     "iter",
     "iter_mut",
     "keys",

@@ -1,0 +1,464 @@
+//! Interprocedural determinism-taint analysis.
+//!
+//! The token rules in [`crate::rules`] catch a *direct* `Instant::now()`
+//! or `.sin()` at its line. What they cannot see is the same
+//! nondeterminism laundered through a call — a helper that reads the
+//! wall clock, renamed through `use std::time::Instant as Clock`, called
+//! three frames above the code that writes a golden artifact. This pass
+//! closes that gap over the call graph:
+//!
+//! 1. **Seed sources.** A function's body is a source when it contains a
+//!    determinism-family token-rule firing (timing, env-read, rng-scope,
+//!    math-scope, thread-spawn, hash-iteration — waived or not: a waiver
+//!    documents intent at the site, it does not make the value
+//!    deterministic), or an alias-resolved call the token rules miss
+//!    (`Clock::now()`, `f64::sin(x)`, a renamed `std::env::var`). Source
+//!    seeding uses the *same* crate/role scoping as the token rules, so
+//!    the sanctioned uses (bench timing, runtime's `CPM_WORKERS` read,
+//!    seed-owning RNG construction) stay clean.
+//! 2. **Propagate.** `reaches_source(F)` = F contains a source or any
+//!    callee does; `reaches_sink(F)` = F is a golden sink or any callee
+//!    is. Both are downward closures over the (over-approximated) graph.
+//! 3. **Report joins.** A violation fires at every *join* function — one
+//!    that reaches both a source and a sink while no single callee does
+//!    (deeper joins win, so one laundering chain yields one diagnostic).
+//!    The message prints both witness chains, shortest-first.
+//!
+//! Data flow through arguments is out of scope: a function that receives
+//! already-nondeterministic data is invisible here, but the construction
+//! site of that data is not, and the token rules remain the backstop.
+
+use crate::ast::ParsedFile;
+use crate::callgraph::CallGraph;
+use crate::rules::{
+    classify, Role, RuleId, Violation, ENV_CRATES, LIBM_METHODS, MATH_CRATES, RNG_CRATES,
+    THREAD_CRATES, TIMING_CRATES,
+};
+
+/// Token-rule families whose firings seed taint. Output/safety/hygiene
+/// rules are not determinism sources.
+const SOURCE_RULES: [RuleId; 6] = [
+    RuleId::HashIteration,
+    RuleId::Timing,
+    RuleId::EnvRead,
+    RuleId::ThreadSpawn,
+    RuleId::RngScope,
+    RuleId::MathScope,
+];
+
+/// The functions whose output is byte-pinned by goldens: trace emission,
+/// golden-document rendering, and the bench tables the stdout gate diffs.
+/// `(crate, qual, name)`; qual `Some("*")` matches any method.
+const SINKS: [(&str, Option<&str>, &str); 6] = [
+    ("cpm-obs", Some("Recorder"), "record"),
+    ("cpm-scenario", Some("GoldenDoc"), "render"),
+    ("cpm-scenario", None, "differential_report"),
+    ("cpm-bench", None, "table1"),
+    ("cpm-bench", None, "table2"),
+    ("cpm-bench", None, "table3"),
+];
+
+/// One seeded nondeterminism source inside a function.
+#[derive(Debug, Clone)]
+struct Source {
+    /// What it is, rendered for the diagnostic (`std::time::Instant::now`).
+    what: String,
+    /// 1-based line of the source site.
+    line: usize,
+}
+
+/// `std::env` functions that read or mutate ambient process state.
+const ENV_FNS: [&str; 8] = [
+    "var",
+    "vars",
+    "var_os",
+    "vars_os",
+    "args",
+    "args_os",
+    "set_var",
+    "remove_var",
+];
+
+/// Detects alias-resolved sources in one node's call sites, applying the
+/// same scoping as the corresponding token rule.
+fn ast_sources(graph: &CallGraph, n: usize) -> Vec<Source> {
+    let node = &graph.nodes[n];
+    let ctx = classify(&node.file);
+    let krate = ctx.crate_name.as_str();
+    let lib_scoped = ctx.role == Role::Library && !node.in_test;
+    let mut out = Vec::new();
+    for c in &graph.calls[n] {
+        let segs: Vec<&str> = c.resolved.iter().map(String::as_str).collect();
+        let source = match segs.as_slice() {
+            // Wall clock, however renamed. Same scope as the timing token
+            // rule: crate-wide, tests included.
+            ["std", "time", "Instant", ..] | ["std", "time", "SystemTime", ..]
+                if !TIMING_CRATES.contains(&krate) =>
+            {
+                true
+            }
+            // Environment reads.
+            ["std", "env", f, ..] if ENV_FNS.contains(f) && !ENV_CRATES.contains(&krate) => true,
+            // Ambient threads (tests may exercise concurrency).
+            ["std", "thread", f, ..]
+                if matches!(*f, "spawn" | "scope" | "Builder")
+                    && !THREAD_CRATES.contains(&krate)
+                    && !node.in_test =>
+            {
+                true
+            }
+            // Bare libm through the UFCS spelling the method-call token
+            // rule can't see: `f64::sin(x)`.
+            ["f64", m] | ["f32", m]
+                if LIBM_METHODS.contains(m) && lib_scoped && !MATH_CRATES.contains(&krate) =>
+            {
+                true
+            }
+            // Ad-hoc RNG construction, however renamed.
+            [.., "Xoshiro256pp", m]
+                if matches!(*m, "seed_from_u64" | "child")
+                    && lib_scoped
+                    && !RNG_CRATES.contains(&krate) =>
+            {
+                true
+            }
+            [.., "SplitMix64", "new"] if lib_scoped && !RNG_CRATES.contains(&krate) => true,
+            _ => false,
+        };
+        if source {
+            out.push(Source {
+                what: c.resolved.join("::"),
+                line: c.line,
+            });
+        }
+    }
+    out
+}
+
+/// Downward closure: `true[n]` iff `n` is in `seed` or any callee is.
+/// Iterates to a fixpoint (the graph may be cyclic through recursion).
+fn closure(graph: &CallGraph, mut flag: Vec<bool>) -> Vec<bool> {
+    loop {
+        let mut changed = false;
+        for n in 0..graph.nodes.len() {
+            if flag[n] {
+                continue;
+            }
+            if graph.callees(n).iter().any(|&c| flag[c]) {
+                flag[n] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return flag;
+        }
+    }
+}
+
+/// BFS from `start` through callees restricted to `allowed`, stopping at
+/// the first node satisfying `hit`. Returns the node path including both
+/// endpoints. Deterministic: callees are visited in ascending order.
+fn chain_to(
+    graph: &CallGraph,
+    start: usize,
+    allowed: &[bool],
+    hit: &dyn Fn(usize) -> bool,
+) -> Vec<usize> {
+    if hit(start) {
+        return vec![start];
+    }
+    let mut prev: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; graph.nodes.len()];
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for c in graph.callees(n) {
+            if seen[c] || !allowed[c] {
+                continue;
+            }
+            seen[c] = true;
+            prev[c] = Some(n);
+            if hit(c) {
+                let mut path = vec![c];
+                let mut cur = c;
+                while let Some(p) = prev[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return path;
+            }
+            queue.push_back(c);
+        }
+    }
+    vec![start]
+}
+
+/// Renders a node path as `a → b → c`.
+fn render_chain(graph: &CallGraph, path: &[usize]) -> String {
+    path.iter()
+        .map(|&n| graph.nodes[n].key.render())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// Runs the taint pass. `token_violations` are the per-file rule firings
+/// (pre-waiver: waived sources still taint).
+pub fn check(
+    _files: &[ParsedFile],
+    graph: &CallGraph,
+    token_violations: &[Violation],
+) -> Vec<Violation> {
+    let n_nodes = graph.nodes.len();
+    // Seed sources: token-rule firings mapped into their enclosing fn…
+    let mut sources: Vec<Vec<Source>> = vec![Vec::new(); n_nodes];
+    for v in token_violations {
+        if !SOURCE_RULES.contains(&v.rule) {
+            continue;
+        }
+        if let Some(n) = graph.enclosing_fn(&v.path, v.line) {
+            sources[n].push(Source {
+                what: format!("[{}]", v.rule.name()),
+                line: v.line,
+            });
+        }
+    }
+    // …plus the alias-resolved sites the token rules cannot see.
+    for (n, node_sources) in sources.iter_mut().enumerate() {
+        for s in ast_sources(graph, n) {
+            if !node_sources.iter().any(|x| x.line == s.line) {
+                node_sources.push(s);
+            }
+        }
+    }
+    for s in &mut sources {
+        s.sort_by_key(|x| x.line);
+    }
+
+    // Sinks.
+    let mut is_sink = vec![false; n_nodes];
+    for (krate, qual, name) in SINKS {
+        for n in graph.find(krate, qual, name) {
+            is_sink[n] = true;
+        }
+    }
+
+    // Closures.
+    let reaches_source = closure(graph, sources.iter().map(|s| !s.is_empty()).collect());
+    let reaches_sink = closure(graph, is_sink.clone());
+
+    // Joins: in both closures, with no callee in both.
+    let mut out = Vec::new();
+    for n in 0..n_nodes {
+        if !(reaches_source[n] && reaches_sink[n]) {
+            continue;
+        }
+        if graph
+            .callees(n)
+            .iter()
+            .any(|&c| reaches_source[c] && reaches_sink[c])
+        {
+            continue;
+        }
+        let node = &graph.nodes[n];
+        let src_path = chain_to(graph, n, &reaches_source, &|m| !sources[m].is_empty());
+        let src_node = *src_path.last().unwrap_or(&n);
+        let site = sources[src_node].first();
+        let sink_path = chain_to(graph, n, &reaches_sink, &|m| is_sink[m]);
+        let (what, src_file, src_line) = match site {
+            Some(s) => (s.what.clone(), graph.nodes[src_node].file.clone(), s.line),
+            None => ("<unknown>".to_string(), node.file.clone(), node.line),
+        };
+        out.push(Violation {
+            rule: RuleId::TaintFlow,
+            path: node.file.clone(),
+            line: node.line,
+            message: format!(
+                "nondeterminism reaches a golden sink through `{}`: source chain {} → {} ({}:{}); sink chain {}",
+                node.key.render(),
+                render_chain(graph, &src_path),
+                what,
+                src_file,
+                src_line,
+                render_chain(graph, &sink_path),
+            ),
+        });
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::tokenizer::tokenize;
+
+    /// Parses sources, runs token rules, builds the graph, runs taint.
+    fn run(files: &[(&str, &str)]) -> Vec<Violation> {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| parse_file(&classify(p), &tokenize(s)))
+            .collect();
+        let graph = crate::callgraph::build(&parsed);
+        let mut token = Vec::new();
+        for (p, s) in files {
+            token.extend(crate::lint_source(&classify(p), s));
+        }
+        check(&parsed, &graph, &token)
+    }
+
+    const SINK_FILE: (&str, &str) = (
+        "crates/obs/src/recorder.rs",
+        "pub struct Recorder;\nimpl Recorder { pub fn record(&self) {} }",
+    );
+
+    #[test]
+    fn laundered_instant_reaching_recorder_fires_with_chain() {
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\n\
+                 use std::time::Instant as Clock;\n\
+                 fn stamp() -> f64 { let t = Clock::now(); 0.0 }\n\
+                 fn emit(r: &Recorder) { let x = stamp(); r.record(); }",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::TaintFlow);
+        assert!(
+            v[0].message.contains("std::time::Instant::now"),
+            "{}",
+            v[0].message
+        );
+        assert!(v[0].message.contains("cpm-core::emit"), "{}", v[0].message);
+        assert!(v[0].message.contains("cpm-core::stamp"), "{}", v[0].message);
+        assert!(
+            v[0].message.contains("cpm-obs::Recorder::record"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn source_without_sink_path_stays_quiet() {
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/core/src/coordinator.rs",
+                "use std::time::Instant as Clock;\n\
+                 fn stamp() -> f64 { let t = Clock::now(); 0.0 }",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sink_without_source_stays_quiet() {
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\nfn emit(r: &Recorder) { r.record(); }",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn exempt_crate_sources_do_not_taint() {
+        // Instant in cpm-runtime is sanctioned pool telemetry; a caller
+        // that also reaches a sink must stay clean.
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/runtime/src/lib.rs",
+                "use std::time::Instant;\npub fn parallel_map() { let t = Instant::now(); }",
+            ),
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\nuse cpm_runtime::parallel_map;\n\
+                 fn emit(r: &Recorder) { parallel_map(); r.record(); }",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multi_hop_chain_is_printed_in_order() {
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/power/src/model.rs",
+                "fn leaf() -> f64 { f64::exp(1.0) }\npub fn mid() -> f64 { leaf() }",
+            ),
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\nuse cpm_power::mid;\n\
+                 fn emit(r: &Recorder) { let x = mid(); r.record(); }",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let m = &v[0].message;
+        assert!(
+            m.contains("cpm-core::emit → cpm-power::mid → cpm-power::leaf → f64::exp"),
+            "{m}"
+        );
+        assert!(m.contains("crates/power/src/model.rs:1"), "{m}");
+    }
+
+    #[test]
+    fn token_rule_sources_also_seed() {
+        // A direct (un-aliased) Instant::now is a token-rule firing; the
+        // taint pass must still chain it to the sink.
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\nuse std::time::Instant;\n\
+                 fn stamp() -> f64 { let t = Instant::now(); 0.0 }\n\
+                 fn emit(r: &Recorder) { let x = stamp(); r.record(); }",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("source chain"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn test_code_sources_do_not_taint_library_paths() {
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/control/src/lib.rs",
+                "use cpm_obs::Recorder;\n\
+                 pub fn emit(r: &Recorder) { r.record(); }\n\
+                 #[cfg(test)]\nmod tests {\n\
+                   use std::thread;\n\
+                   fn spawny() { thread::spawn(|| {}); }\n}",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn deepest_join_wins_single_diagnostic() {
+        // caller → join → {source, sink}: only `join` reports, not caller.
+        let v = run(&[
+            SINK_FILE,
+            (
+                "crates/core/src/coordinator.rs",
+                "use cpm_obs::Recorder;\nuse std::time::SystemTime;\n\
+                 fn join(r: &Recorder) { let t = SystemTime::now(); r.record(); }\n\
+                 pub fn caller(r: &Recorder) { join(r); }",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].message.contains("`cpm-core::join`"),
+            "{}",
+            v[0].message
+        );
+    }
+}

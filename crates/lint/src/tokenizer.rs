@@ -155,9 +155,20 @@ pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
             i = end;
             continue;
         }
-        // Identifier / keyword.
+        // Identifier / keyword. A raw identifier (`r#match`) is one
+        // token whose text keeps the `r#` prefix, so it can never be
+        // confused with the bare keyword during parsing or rule
+        // matching. (Raw *strings* `r#"…"#` were already consumed
+        // above: they require a `"` after the hashes.)
         if c.is_ascii_alphabetic() || c == b'_' {
             let start = i;
+            if c == b'r'
+                && i + 2 < b.len()
+                && b[i + 1] == b'#'
+                && (b[i + 2].is_ascii_alphabetic() || b[i + 2] == b'_')
+            {
+                i += 2;
+            }
             while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
@@ -343,5 +354,66 @@ mod tests {
     fn escaped_quote_in_char_literal() {
         let t = tokenize(r"let q = '\''; let after = 2;");
         assert!(t.iter().any(|x| x.is("after")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#match` must not split into `r`, `#`, `match` — the bare
+        // keyword appearing from nowhere would confuse the parser.
+        let t = texts("let r#match = r#fn + other;");
+        assert!(t.contains(&"r#match".to_string()));
+        assert!(t.contains(&"r#fn".to_string()));
+        assert!(!t.contains(&"match".to_string()));
+        assert!(!t.contains(&"fn".to_string()));
+        assert!(!t.contains(&"#".to_string()));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_swallow_raw_strings() {
+        // `r#"…"#` is a raw string (quote after the hash), not a raw
+        // identifier; `r#x` is an identifier, not a truncated string.
+        let t = texts("let a = r#\"Instant::now()\"#; let r#b = 1;");
+        assert!(!t.iter().any(|x| x.contains("Instant")));
+        assert!(t.contains(&"r#b".to_string()));
+        assert_eq!(t.iter().filter(|x| x.as_str() == "let").count(), 2);
+    }
+
+    #[test]
+    fn byte_string_escapes_and_multiline_raw_byte_strings() {
+        // An escaped quote inside b"…" must not terminate the literal
+        // early, and a multi-line br#"…"# must keep line numbers right.
+        let src = "let a = b\"x\\\"y\";\nlet b = br#\"l1\nl2\"#;\nlet after = 3;";
+        let toks = tokenize(src);
+        let after = toks.iter().find(|t| t.is("after")).unwrap();
+        assert_eq!(after.line, 4, "the raw byte string spans lines 2-3");
+        assert!(!toks.iter().any(|t| t.is("y") || t.is("l2")));
+    }
+
+    #[test]
+    fn underscore_lifetime_and_loop_labels() {
+        let t = tokenize("fn f(x: &'_ u8) { 'outer: loop { break 'outer; } }");
+        let lifetimes = t.iter().filter(|k| k.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3, "'_ plus the label at both sites");
+        assert!(!t.iter().any(|k| k.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn doc_comment_edge_cases() {
+        // Empty block comment, inner block doc, doc comment that itself
+        // contains `*/`-adjacent stars, and a doc comment holding what
+        // looks like a rule trigger.
+        let src =
+            "/**/ /*! inner */ /*** stars ***/\n/// Instant::now()\n//! SystemTime\nlet x = 1;";
+        let t = texts(src);
+        assert_eq!(t, vec!["let", "x", "=", "1", ";"]);
+        let toks = tokenize(src);
+        assert_eq!(toks[0].line, 4, "comment lines still counted");
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang_or_panic() {
+        for src in ["let s = \"abc", "let s = r#\"abc", "let c = '\\", "/* open"] {
+            let _ = tokenize(src); // must terminate without panicking
+        }
     }
 }

@@ -6,15 +6,25 @@
 //! file can only shrink as violations are fixed, never rot.
 //!
 //! The format is a strict subset of TOML (array-of-tables with string
-//! values), parsed by hand because the workspace builds with zero
-//! external crates:
+//! values plus one `[budget]` table), parsed by hand because the
+//! workspace builds with zero external crates:
 //!
 //! ```toml
+//! [budget]
+//! max = 5
+//! justification = "why the budget sits where it does"
+//!
 //! [[waiver]]
 //! rule = "panic-bare"
 //! path = "crates/rng/src/check.rs"
 //! reason = "the property harness reports failures by panicking"
 //! ```
+//!
+//! The budget is a **ratchet**: the engine fails when the waiver count
+//! exceeds `max`, and the tier-1 budget test pins `max` to the *exact*
+//! current count — so adding a waiver forces a deliberate budget bump
+//! (with its justification updated), and removing one forces the budget
+//! down. The file can only shrink silently, never grow.
 
 use crate::rules::RuleId;
 
@@ -27,6 +37,25 @@ pub struct Waiver {
     pub path: String,
     /// The written justification (must be non-empty).
     pub reason: String,
+}
+
+/// The ratchet: a hard ceiling on how many waivers may exist, with a
+/// written justification for the current level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Maximum number of `[[waiver]]` entries permitted.
+    pub max: usize,
+    /// Why the budget sits at this level (must be non-empty).
+    pub justification: String,
+}
+
+/// The fully parsed waiver file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WaiverFile {
+    /// Every `[[waiver]]` entry, in file order.
+    pub waivers: Vec<Waiver>,
+    /// The `[budget]` table, when present.
+    pub budget: Option<Budget>,
 }
 
 /// A parse/validation failure, with the offending line number.
@@ -44,18 +73,31 @@ impl std::fmt::Display for WaiverError {
     }
 }
 
-/// Parses and validates the waiver file. Unknown keys, unknown rules,
-/// missing fields, and empty reasons are all hard errors: a waiver that
-/// cannot be read precisely must not silently suppress anything.
+/// Backward-compatible entry: parses and returns just the waivers.
 pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
+    parse_file(text).map(|f| f.waivers)
+}
+
+/// Parses and validates the waiver file. Unknown keys, unknown rules,
+/// missing fields, and empty reasons/justifications are all hard errors:
+/// a waiver that cannot be read precisely must not silently suppress
+/// anything.
+pub fn parse_file(text: &str) -> Result<WaiverFile, WaiverError> {
     struct Partial {
         line: usize,
         rule: Option<RuleId>,
         path: Option<String>,
         reason: Option<String>,
     }
+    struct BudgetPartial {
+        line: usize,
+        max: Option<usize>,
+        justification: Option<String>,
+    }
     let mut out = Vec::new();
     let mut cur: Option<Partial> = None;
+    let mut budget: Option<BudgetPartial> = None;
+    let mut in_budget = false;
     let finish = |p: Partial| -> Result<Waiver, WaiverError> {
         let missing = |k: &str| WaiverError {
             line: p.line,
@@ -84,11 +126,30 @@ pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
             if let Some(p) = cur.take() {
                 out.push(finish(p)?);
             }
+            in_budget = false;
             cur = Some(Partial {
                 line: lineno,
                 rule: None,
                 path: None,
                 reason: None,
+            });
+            continue;
+        }
+        if line == "[budget]" {
+            if let Some(p) = cur.take() {
+                out.push(finish(p)?);
+            }
+            if budget.is_some() {
+                return Err(WaiverError {
+                    line: lineno,
+                    message: "duplicate [budget] table".to_string(),
+                });
+            }
+            in_budget = true;
+            budget = Some(BudgetPartial {
+                line: lineno,
+                max: None,
+                justification: None,
             });
             continue;
         }
@@ -100,6 +161,39 @@ pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
         };
         let key = key.trim();
         let value = value.trim();
+        if in_budget && cur.is_none() {
+            let Some(b) = budget.as_mut() else {
+                return Err(WaiverError {
+                    line: lineno,
+                    message: "internal: budget key without [budget]".to_string(),
+                });
+            };
+            match key {
+                "max" => {
+                    b.max = Some(value.parse().map_err(|_| WaiverError {
+                        line: lineno,
+                        message: format!("`max` must be a non-negative integer, got `{value}`"),
+                    })?);
+                }
+                "justification" => {
+                    let j = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| WaiverError {
+                            line: lineno,
+                            message: "`justification` must be a double-quoted string".to_string(),
+                        })?;
+                    b.justification = Some(j.to_string());
+                }
+                other => {
+                    return Err(WaiverError {
+                        line: lineno,
+                        message: format!("unknown [budget] key `{other}`"),
+                    });
+                }
+            }
+            continue;
+        }
         let unquoted = value
             .strip_prefix('"')
             .and_then(|v| v.strip_suffix('"'))
@@ -133,7 +227,28 @@ pub fn parse(text: &str) -> Result<Vec<Waiver>, WaiverError> {
     if let Some(p) = cur.take() {
         out.push(finish(p)?);
     }
-    Ok(out)
+    let budget = match budget {
+        Some(b) => {
+            let missing = |k: &str| WaiverError {
+                line: b.line,
+                message: format!("[budget] is missing `{k}`"),
+            };
+            let max = b.max.ok_or_else(|| missing("max"))?;
+            let justification = b.justification.ok_or_else(|| missing("justification"))?;
+            if justification.trim().is_empty() {
+                return Err(WaiverError {
+                    line: b.line,
+                    message: "[budget] justification must be non-empty".to_string(),
+                });
+            }
+            Some(Budget { max, justification })
+        }
+        None => None,
+    };
+    Ok(WaiverFile {
+        waivers: out,
+        budget,
+    })
 }
 
 #[cfg(test)]
@@ -181,5 +296,52 @@ reason = "why not"
     #[test]
     fn empty_file_is_no_waivers() {
         assert_eq!(parse("# nothing here\n").unwrap(), Vec::new());
+        assert_eq!(parse_file("").unwrap().budget, None);
+    }
+
+    #[test]
+    fn budget_table_parses() {
+        let text = "[budget]\nmax = 5\njustification = \"legacy accuracy twins\"\n\n\
+                    [[waiver]]\nrule = \"timing\"\npath = \"x\"\nreason = \"r\"\n";
+        let f = parse_file(text).unwrap();
+        assert_eq!(
+            f.budget,
+            Some(Budget {
+                max: 5,
+                justification: "legacy accuracy twins".to_string()
+            })
+        );
+        assert_eq!(f.waivers.len(), 1);
+    }
+
+    #[test]
+    fn budget_rejects_bad_shapes() {
+        assert!(
+            parse_file("[budget]\nmax = 5\n").is_err(),
+            "missing justification"
+        );
+        assert!(
+            parse_file("[budget]\njustification = \"j\"\n").is_err(),
+            "missing max"
+        );
+        assert!(parse_file("[budget]\nmax = \"five\"\njustification = \"j\"\n").is_err());
+        assert!(parse_file("[budget]\nmax = 1\njustification = \" \"\n").is_err());
+        assert!(parse_file(
+            "[budget]\nmax = 1\njustification = \"j\"\n[budget]\nmax = 2\njustification = \"j\"\n"
+        )
+        .is_err());
+        assert!(
+            parse_file("[budget]\nmax = 1\nceiling = \"j\"\n").is_err(),
+            "unknown budget key"
+        );
+    }
+
+    #[test]
+    fn budget_after_waiver_is_accepted() {
+        let text = "[[waiver]]\nrule = \"timing\"\npath = \"x\"\nreason = \"r\"\n\n\
+                    [budget]\nmax = 1\njustification = \"one known site\"\n";
+        let f = parse_file(text).unwrap();
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.budget.as_ref().map(|b| b.max), Some(1));
     }
 }

@@ -6,7 +6,7 @@
 //! lands in the crate/role the rule targets.
 
 use cpm_lint::rules::{classify, RuleId};
-use cpm_lint::{lint_source, reconcile, waivers, Waiver};
+use cpm_lint::{lint_source, lint_sources, reconcile, waivers, Waiver};
 use std::path::Path;
 
 /// Reads a fixture file from the corpus.
@@ -255,6 +255,98 @@ fn test_role_files_skip_library_only_rules() {
         RuleId::MathScope
     )
     .is_empty());
+}
+
+/// Lints a set of fixtures as one mini-workspace (the interprocedural
+/// passes need the whole file set) and filters to one rule's firings.
+fn workspace_firings(files: &[(&str, &str)], rule: RuleId) -> Vec<(String, usize)> {
+    let inputs: Vec<_> = files
+        .iter()
+        .map(|(fx, rel)| (classify(rel), fixture(fx)))
+        .collect();
+    lint_sources(&inputs)
+        .into_iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.path, v.line))
+        .collect()
+}
+
+#[test]
+fn taint_flow_fires_on_the_laundered_chain() {
+    let hits = workspace_firings(
+        &[
+            ("taint_sink.rs", "crates/obs/src/recorder.rs"),
+            ("taint_flow_fire.rs", "crates/core/src/fx.rs"),
+        ],
+        RuleId::TaintFlow,
+    );
+    assert_eq!(hits.len(), 1, "one join, one diagnostic: {hits:?}");
+    assert_eq!(hits[0].0, "crates/core/src/fx.rs");
+    // The diagnostic carries both witness chains.
+    let inputs = vec![
+        (
+            classify("crates/obs/src/recorder.rs"),
+            fixture("taint_sink.rs"),
+        ),
+        (
+            classify("crates/core/src/fx.rs"),
+            fixture("taint_flow_fire.rs"),
+        ),
+    ];
+    let v = lint_sources(&inputs)
+        .into_iter()
+        .find(|v| v.rule == RuleId::TaintFlow)
+        .unwrap();
+    assert!(v.message.contains("source chain"), "{}", v.message);
+    assert!(v.message.contains("sink chain"), "{}", v.message);
+    assert!(
+        v.message.contains("std::time::Instant"),
+        "the rename must be resolved back to Instant: {}",
+        v.message
+    );
+}
+
+#[test]
+fn taint_flow_stays_quiet_on_the_deterministic_twin() {
+    let hits = workspace_firings(
+        &[
+            ("taint_sink.rs", "crates/obs/src/recorder.rs"),
+            ("taint_flow_clean.rs", "crates/core/src/fx.rs"),
+        ],
+        RuleId::TaintFlow,
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn dim_consistency_fires_on_mixed_dimensions() {
+    let hits = workspace_firings(
+        &[("dim_consistency_fire.rs", "crates/thermal/src/fx.rs")],
+        RuleId::DimConsistency,
+    );
+    assert!(
+        hits.len() >= 4,
+        "expected the 4 seeded dimension errors, got {hits:?}"
+    );
+}
+
+#[test]
+fn dim_consistency_stays_quiet_on_the_consistent_twin() {
+    let hits = workspace_firings(
+        &[("dim_consistency_clean.rs", "crates/thermal/src/fx.rs")],
+        RuleId::DimConsistency,
+    );
+    assert!(hits.is_empty(), "{hits:?}");
+}
+
+#[test]
+fn dim_consistency_is_scoped_to_the_physics_crates() {
+    // The same mixed-dimension code in a non-physics crate stays quiet.
+    let hits = workspace_firings(
+        &[("dim_consistency_fire.rs", "crates/obs/src/fx.rs")],
+        RuleId::DimConsistency,
+    );
+    assert!(hits.is_empty(), "{hits:?}");
 }
 
 #[test]

@@ -1,0 +1,44 @@
+// MUST-FIRE: physical-dimension errors in a physics crate. Linted as
+// crates/thermal/src/fx.rs (one of the four dimension-checked crates).
+
+pub struct Watts(pub f64);
+pub struct Celsius(pub f64);
+pub struct Hertz(pub f64);
+
+// Mixed-dimension addition: °C + W.
+pub fn add_mixed(t: Celsius, p: Watts) -> f64 {
+    t.value() + p.value()
+}
+
+// Mixed-dimension comparison: W < Hz.
+pub fn cmp_mixed(p: Watts, f: Hertz) -> bool {
+    p.value() < f.value()
+}
+
+// Suspicious product: °C · °C has no physical meaning here.
+pub fn celsius_squared(a: Celsius, b: Celsius) -> f64 {
+    a.value() * b.value()
+}
+
+// Name-suffix heuristic: raw f64s with full-word unit suffixes.
+pub fn suffix_mixed(power_watts: f64, temp_celsius: f64) -> f64 {
+    power_watts - temp_celsius
+}
+
+impl Watts {
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Celsius {
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Hertz {
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}

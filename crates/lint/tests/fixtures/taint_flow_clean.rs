@@ -1,0 +1,19 @@
+// MUST-NOT-FIRE twin of taint_flow_fire.rs: the same call shape into
+// the same golden sink, but every helper is deterministic — reaching a
+// sink is not a violation, reaching it *from a source* is.
+
+use cpm_obs::Recorder;
+
+fn deterministic_value() -> f64 {
+    42.0
+}
+
+fn scaled() -> f64 {
+    deterministic_value() * 0.5
+}
+
+pub fn emit_trace(r: &Recorder) {
+    let x = scaled();
+    let _ = x;
+    r.record();
+}

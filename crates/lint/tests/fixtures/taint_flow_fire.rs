@@ -1,0 +1,24 @@
+// MUST-FIRE: nondeterminism laundered through helpers into a golden
+// sink. No token rule sees the whole flow — `Clock` hides the Instant
+// rename from the timing rule's sequence match at the call site, and
+// the sink call is three frames from the source. Linted as
+// crates/core/src/fx.rs alongside taint_sink.rs.
+
+use cpm_obs::Recorder;
+use std::time::Instant as Clock;
+
+fn read_wall_clock() -> f64 {
+    let t = Clock::now();
+    let _ = t;
+    0.0
+}
+
+fn jitter() -> f64 {
+    read_wall_clock() * 0.5
+}
+
+pub fn emit_trace(r: &Recorder) {
+    let x = jitter();
+    let _ = x;
+    r.record();
+}

@@ -1,0 +1,9 @@
+// Companion fixture for the taint-flow cases: defines the golden sink
+// the fire/clean twins call. Linted as crates/obs/src/recorder.rs so the
+// sink table's (cpm-obs, Recorder, record) entry matches it.
+
+pub struct Recorder;
+
+impl Recorder {
+    pub fn record(&self) {}
+}

@@ -1,0 +1,94 @@
+//! Byte-pins the machine-readable report formats (`--format json` /
+//! `--format sarif`) against committed expected-output fixtures.
+//!
+//! The renderers promise deterministic bytes — no timestamps, no
+//! absolute paths, stable ordering — so these tests compare the full
+//! rendered string against `tests/fixtures/expected_report.{json,sarif}`
+//! byte-for-byte. Any intentional format change must re-bless the
+//! fixtures (`CPM_BLESS=1 cargo test -p cpm-lint --test formats`) and
+//! show up in review as a fixture diff.
+
+use cpm_lint::output::{render_json, render_sarif};
+use cpm_lint::rules::{RuleId, Violation};
+use cpm_lint::{Report, Waiver};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `CPM_BLESS` is set.
+fn assert_pinned(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("CPM_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {} ({e}) — bless with CPM_BLESS=1", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its byte-pinned fixture — if the change is \
+         intentional, re-bless with CPM_BLESS=1 and review the diff"
+    );
+}
+
+/// A fixed report exercising every section: active violations (with
+/// characters needing JSON escapes), a waived violation, a stale waiver,
+/// and a budget overrun.
+fn pinned_report() -> Report {
+    Report {
+        active: vec![
+            Violation {
+                rule: RuleId::Timing,
+                path: "crates/sim/src/engine.rs".to_string(),
+                line: 42,
+                message: "Instant::now() in a library crate".to_string(),
+            },
+            Violation {
+                rule: RuleId::DimConsistency,
+                path: "crates/thermal/src/grid.rs".to_string(),
+                line: 7,
+                message: "`+` mixes dimensions °C vs W".to_string(),
+            },
+        ],
+        waived: vec![Violation {
+            rule: RuleId::PanicBare,
+            path: "crates/rng/src/check.rs".to_string(),
+            line: 19,
+            message: "bare panic! outside test code".to_string(),
+        }],
+        stale: vec![Waiver {
+            rule: RuleId::Output,
+            path: "crates/bench/src/gone.rs".to_string(),
+            reason: "said \"temporary\" in 2025".to_string(),
+        }],
+        over_budget: Some("2 waivers exceed the budget of 1".to_string()),
+        files_scanned: 147,
+    }
+}
+
+#[test]
+fn json_output_is_byte_pinned() {
+    assert_pinned("expected_report.json", &render_json(&pinned_report()));
+}
+
+#[test]
+fn sarif_output_is_byte_pinned() {
+    assert_pinned("expected_report.sarif", &render_sarif(&pinned_report()));
+}
+
+#[test]
+fn clean_report_round_trips_both_formats() {
+    let clean = Report {
+        files_scanned: 3,
+        ..Report::default()
+    };
+    let j = render_json(&clean);
+    assert!(j.contains("\"failure\": false"));
+    let s = render_sarif(&clean);
+    assert!(s.contains("\"results\": [\n      ]"));
+}
